@@ -1,0 +1,25 @@
+# Convenience targets for the DSN 2001 reproduction.
+
+.PHONY: install test bench campaign campaign-paper examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+campaign:
+	python -m repro.experiments.run_all --scale quick
+
+campaign-paper:
+	python -m repro.experiments.run_all --scale paper
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

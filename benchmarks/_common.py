@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The
+underlying simulation campaign is shared: cells are cached per process
+(see ``repro.experiments.sweep.run_cell_cached``), so the Figure-4 and
+Figure-5 benchmarks pay for the same runs only once.
+
+Benchmarks run the reduced-but-shape-preserving QUICK scale with a
+subset of arrival rates; the full campaign is
+``python -m repro.experiments.run_all --scale paper``.  Each benchmark
+writes its rendered table under ``benchmarks/results/`` so the numbers
+recorded in EXPERIMENTS.md are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments import QUICK_SCALE
+
+#: Arrival-rate subsets per average degree (3 points per figure panel,
+#: spanning light load to saturation).
+BENCH_LAMBDAS: Dict[int, Tuple[float, ...]] = {
+    3: (0.3, 0.5, 0.7),
+    4: (0.5, 0.7, 0.9),
+}
+
+#: The scale every benchmark simulates at.
+BENCH_SCALE = QUICK_SCALE
+
+#: The master scenario seed for the benchmark campaign.
+BENCH_SEED = 7
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a rendered table and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "{}.txt".format(name)).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run an expensive deterministic function exactly once under
+    pytest-benchmark (default rounds would multiply minutes-long
+    simulations)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.analysis import format_table
+from repro.experiments import (
+    activation_pool_ablation,
+    backup_count_ablation,
+    bf_bound_ablation,
+    conflict_awareness_ablation,
+    multi_failure_ablation,
+    qos_slack_ablation,
+    reactive_vs_proactive_ablation,
+    staleness_ablation,
+    topology_locality_ablation,
+)
+
+from _common import BENCH_SCALE, once, record
+
+HEADERS = ("variant", "P_act-bk", "overhead %", "acceptance", "msgs/req")
+
+
+def _table(title, rows):
+    return format_table(HEADERS, [row.as_tuple() for row in rows],
+                        title=title)
+
+
+def test_bf_flood_bound(benchmark):
+    """Section 6.2: "increasing the flooding area beyond this barely
+    improves the performance" — fault tolerance saturates while CDP
+    cost keeps climbing steeply."""
+    rows = once(
+        benchmark,
+        lambda: bf_bound_ablation(
+            bounds=((0, 0), (2, 2), (4, 4)), scale=BENCH_SCALE
+        ),
+    )
+    record("ablation_bf_bound", _table("BF flood-bound ablation", rows))
+    tight, paper, wide = rows
+    # Wider flooding helps fault tolerance with diminishing returns...
+    assert paper.fault_tolerance > tight.fault_tolerance
+    gain_first = paper.fault_tolerance - tight.fault_tolerance
+    gain_second = wide.fault_tolerance - paper.fault_tolerance
+    assert gain_second < gain_first
+    # ...while the message cost grows superlinearly.
+    assert wide.messages_per_request > 2 * paper.messages_per_request
+
+
+def test_reactive_vs_proactive(benchmark):
+    """Section 1: reactive recovery "cannot give any guarantee" —
+    DRTP's proactive backups must beat post-failure re-routing."""
+    rows = once(
+        benchmark, lambda: reactive_vs_proactive_ablation(scale=BENCH_SCALE)
+    )
+    record("ablation_reactive", _table("reactive vs proactive", rows))
+    proactive, reactive = rows
+    assert proactive.fault_tolerance > reactive.fault_tolerance + 0.05
+    # Reactive reserves nothing, so it carries more connections.
+    assert reactive.overhead_percent <= proactive.overhead_percent
+
+
+def test_conflict_awareness(benchmark):
+    """The APLV/CV machinery must not lose to conflict-blind backup
+    selection; the paper's information hierarchy should show."""
+    rows = once(
+        benchmark, lambda: conflict_awareness_ablation(scale=BENCH_SCALE)
+    )
+    record("ablation_conflicts", _table("conflict awareness", rows))
+    by_name = {row.variant: row for row in rows}
+    assert by_name["D-LSR"].fault_tolerance >= (
+        by_name["disjoint"].fault_tolerance - 0.005
+    )
+    assert by_name["D-LSR"].fault_tolerance >= (
+        by_name["random"].fault_tolerance - 0.005
+    )
+    for row in rows:
+        assert row.fault_tolerance >= 0.87
+
+
+def test_backup_count(benchmark):
+    """Section 2's "one or more backup channels": a second backup buys
+    fault tolerance but costs capacity — both directions must show."""
+    rows = once(
+        benchmark, lambda: backup_count_ablation(scale=BENCH_SCALE)
+    )
+    record("ablation_backup_count", _table("backups per connection", rows))
+    single, double = rows
+    assert double.fault_tolerance >= single.fault_tolerance
+    assert double.overhead_percent >= single.overhead_percent
+    assert double.acceptance_ratio <= single.acceptance_ratio + 0.01
+
+
+def test_topology_locality(benchmark):
+    """At constant average degree, shortcut-rich topologies (higher
+    Waxman alpha) shorten routes and must raise acceptance."""
+    rows = once(
+        benchmark, lambda: topology_locality_ablation(scale=BENCH_SCALE)
+    )
+    record("ablation_locality", _table("Waxman alpha locality", rows))
+    local, _mid, shortcutty = rows
+    assert shortcutty.acceptance_ratio >= local.acceptance_ratio
+    for row in rows:
+        assert row.fault_tolerance >= 0.85
+
+
+def test_multi_failure(benchmark):
+    """Spare pools are sized for one failure at a time; simultaneous
+    pair failures must recover strictly less often."""
+    rows = once(benchmark, lambda: multi_failure_ablation(scale=BENCH_SCALE))
+    record("ablation_multi_failure", _table("multi-failure model", rows))
+    single, double = rows
+    assert double.fault_tolerance < single.fault_tolerance
+    assert double.fault_tolerance > 0.5  # still far from collapse
+
+
+def test_qos_slack(benchmark):
+    """Section 2's delay-QoS story: tightening the hop bound must cost
+    acceptance and fault tolerance monotonically (shorter backups
+    overlap more and clean detours become illegal)."""
+    rows = once(benchmark, lambda: qos_slack_ablation(scale=BENCH_SCALE))
+    record("ablation_qos", _table("delay-QoS slack", rows))
+    fts = [row.fault_tolerance for row in rows]
+    accs = [row.acceptance_ratio for row in rows]
+    # rows are ordered loosest -> tightest
+    assert fts[0] >= fts[-1]
+    assert accs[0] >= accs[-1]
+    assert fts[-1] < fts[0]  # the tight bound really bites
+
+
+def test_link_state_staleness(benchmark):
+    """The paper assumes instantly-converged link state; periodic
+    refresh must cost acceptance (stale routes get rolled back)."""
+    rows = once(benchmark, lambda: staleness_ablation(scale=BENCH_SCALE))
+    record("ablation_staleness", _table("link-state staleness", rows))
+    live = rows[0]
+    stalest = rows[-1]
+    assert stalest.acceptance_ratio <= live.acceptance_ratio + 0.005
+
+
+def test_activation_pool(benchmark):
+    """Letting activations draw free bandwidth can only help."""
+    rows = once(
+        benchmark, lambda: activation_pool_ablation(scale=BENCH_SCALE)
+    )
+    record("ablation_pool", _table("activation resource pool", rows))
+    spare_only, with_free = rows
+    assert with_free.fault_tolerance >= spare_only.fault_tolerance

@@ -1,0 +1,68 @@
+"""Figure 4 — fault tolerance (P_act-bk) of the three routing schemes.
+
+Regenerates both panels at benchmark scale and asserts the paper's
+qualitative claims:
+
+* all schemes stay above the paper's 87 % headline;
+* the link-state schemes dominate bounded flooding (most cases);
+* higher connectivity (E = 4) raises every scheme's fault tolerance.
+"""
+
+import pytest
+
+from repro.experiments import figure4_panel, format_figure4
+
+from _common import BENCH_LAMBDAS, BENCH_SCALE, BENCH_SEED, once, record
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+@pytest.mark.parametrize("degree", [3, 4])
+def test_figure4_panel(benchmark, degree):
+    lambdas = BENCH_LAMBDAS[degree]
+
+    def run():
+        return figure4_panel(
+            degree,
+            lambdas=lambdas,
+            scale=BENCH_SCALE,
+            master_seed=BENCH_SEED,
+        )
+
+    curves = once(benchmark, run)
+    panel = "a" if degree == 3 else "b"
+    record(
+        "figure4{}".format(panel),
+        format_figure4(degree, curves, lambdas=lambdas),
+    )
+
+    # Headline: "fault-tolerance of 87% or higher".
+    for (scheme, pattern), values in curves.items():
+        assert min(values) >= 0.87, (scheme, pattern, values)
+
+    # Link-state schemes dominate BF on average per pattern.
+    for pattern in ("UT", "NT"):
+        bf = _mean(curves[("BF", pattern)])
+        assert _mean(curves[("D-LSR", pattern)]) > bf
+        assert _mean(curves[("P-LSR", pattern)]) > bf
+
+
+def test_figure4_connectivity_effect(benchmark):
+    """E = 4 beats E = 3 for every scheme (Section 6.2)."""
+
+    def run():
+        low = figure4_panel(
+            3, lambdas=BENCH_LAMBDAS[3], scale=BENCH_SCALE,
+            master_seed=BENCH_SEED,
+        )
+        high = figure4_panel(
+            4, lambdas=BENCH_LAMBDAS[4], scale=BENCH_SCALE,
+            master_seed=BENCH_SEED,
+        )
+        return low, high
+
+    low, high = once(benchmark, run)
+    for key in low:
+        assert _mean(high[key]) >= _mean(low[key]) - 0.01, key

@@ -1,0 +1,58 @@
+"""Figure 5 — capacity overhead of the three routing schemes.
+
+Regenerates both panels (sharing the Figure-4 campaign through the
+sweep cache) and asserts the paper's claims: overhead stays well below
+the >= 50 % a dedicated-backup design costs — "all of the three
+proposed routing schemes decrease the network utilization by at most
+25%" (UT) — and is small before saturation.
+"""
+
+import pytest
+
+from repro.experiments import figure5_panel, format_figure5
+
+from _common import BENCH_LAMBDAS, BENCH_SCALE, BENCH_SEED, once, record
+
+
+@pytest.mark.parametrize("degree", [3, 4])
+def test_figure5_panel(benchmark, degree):
+    lambdas = BENCH_LAMBDAS[degree]
+
+    def run():
+        return figure5_panel(
+            degree,
+            lambdas=lambdas,
+            scale=BENCH_SCALE,
+            master_seed=BENCH_SEED,
+        )
+
+    curves = once(benchmark, run)
+    panel = "a" if degree == 3 else "b"
+    record(
+        "figure5{}".format(panel),
+        format_figure5(degree, curves, lambdas=lambdas),
+    )
+
+    for (scheme, pattern), values in curves.items():
+        # Multiplexing keeps overhead far below dedicated backups'
+        # >= 50 %; the paper reports <= ~25 % (we allow measurement
+        # slack at reduced scale).
+        assert max(values) <= 30.0, (scheme, pattern, values)
+        assert min(values) >= 0.0
+
+
+def test_overhead_small_before_saturation(benchmark):
+    """At the lightest load of the E = 4 panel the network is far from
+    saturated: the LSR schemes' overhead must be small (the paper:
+    "when the network load is not very high, allocation of spare
+    resources ... does not reduce the number of real-time connections").
+    """
+
+    def run():
+        return figure5_panel(
+            4, lambdas=(0.4,), scale=BENCH_SCALE, master_seed=BENCH_SEED
+        )
+
+    curves = once(benchmark, run)
+    for scheme in ("D-LSR", "P-LSR"):
+        assert curves[(scheme, "UT")][0] <= 10.0

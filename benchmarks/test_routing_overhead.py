@@ -1,0 +1,84 @@
+"""Routing-information overhead — Sections 3–4's cost comparison.
+
+The paper motivates P-LSR/D-LSR by the cost of shipping full APLVs
+("N APLVs, each with N integers") and motivates BF by the cost of the
+extended link-state databases.  This benchmark quantifies all three
+sides on one table: standing database bytes, update traffic, and
+on-demand CDP traffic, measured from a replayed scenario.
+"""
+
+from repro.analysis import (
+    discovery_messages_per_request,
+    format_table,
+    routing_overhead,
+)
+from repro.core import DRTPService
+from repro.experiments import (
+    CellSpec,
+    cell_scenario,
+    make_network,
+    make_scheme,
+)
+from repro.simulation import ScenarioSimulator
+
+from _common import BENCH_SCALE, BENCH_SEED, once, record
+
+SPEC = CellSpec(degree=3, pattern="UT", lam=0.4)
+
+
+def _run_campaign():
+    network = make_network(SPEC.degree)
+    scenario = cell_scenario(SPEC, BENCH_SCALE, master_seed=BENCH_SEED)
+    rows = []
+    per_scheme = {}
+    for name in ("P-LSR", "D-LSR", "BF"):
+        service = DRTPService(network, make_scheme(name))
+        result = ScenarioSimulator(
+            service, scenario, warmup=BENCH_SCALE.warmup,
+            snapshot_count=BENCH_SCALE.snapshot_count,
+        ).run()
+        overhead = routing_overhead(
+            result,
+            num_links=network.num_links,
+            backup_hops_total=service.counters.backup_hops_total,
+        )
+        per_scheme[name] = (result, overhead)
+        rows.append(
+            (
+                name,
+                overhead.standing_database_bytes,
+                overhead.update_bytes,
+                overhead.discovery_bytes,
+                "{:.1f}".format(discovery_messages_per_request(result)),
+            )
+        )
+    table = format_table(
+        (
+            "scheme",
+            "database bytes",
+            "update bytes",
+            "discovery bytes",
+            "CDPs/request",
+        ),
+        rows,
+        title="routing-information overhead (E=3, UT, lambda=0.4)",
+    )
+    return table, per_scheme
+
+
+def test_routing_overhead(benchmark):
+    table, per_scheme = once(benchmark, _run_campaign)
+    record("routing_overhead", table)
+
+    plsr = per_scheme["P-LSR"][1]
+    dlsr = per_scheme["D-LSR"][1]
+    bf_result, bf = per_scheme["BF"]
+
+    # Section 3: P-LSR's records are smaller than D-LSR's bit vectors.
+    assert plsr.standing_database_bytes < dlsr.standing_database_bytes
+    # Section 4: BF keeps no extended database and sends no updates...
+    assert bf.update_bytes == 0
+    assert bf.standing_database_bytes < plsr.standing_database_bytes
+    # ...but pays per-request discovery traffic instead.
+    assert bf.discovery_bytes > 0
+    assert discovery_messages_per_request(bf_result) > 1.0

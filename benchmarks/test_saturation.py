@@ -1,0 +1,71 @@
+"""Saturation points — Section 6.2's load calibration.
+
+"The simulated network gets saturated as lambda reaches 0.5 (0.9) for
+the case of E = 3 (E = 4)."  This benchmark sweeps the no-backup
+baseline over lambda, builds the carried-load curve, and asserts the
+qualitative structure: a knee exists, and the E = 4 network saturates
+at a strictly higher arrival rate than the E = 3 network.
+"""
+
+from repro.analysis import build_curve, format_series
+from repro.core import DRTPService
+from repro.experiments import (
+    CellSpec,
+    cell_scenario,
+    make_network,
+    make_scheme,
+)
+from repro.simulation import ScenarioSimulator
+
+from _common import BENCH_SCALE, BENCH_SEED, once, record
+
+LAMBDAS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _carried_load_curve(degree):
+    network = make_network(degree)
+    points = []
+    for lam in LAMBDAS:
+        scenario = cell_scenario(
+            CellSpec(degree=degree, pattern="UT", lam=lam),
+            BENCH_SCALE,
+            master_seed=BENCH_SEED,
+        )
+        service = DRTPService(
+            network, make_scheme("no-backup"), require_backup=False
+        )
+        result = ScenarioSimulator(
+            service, scenario, warmup=BENCH_SCALE.warmup,
+            snapshot_count=BENCH_SCALE.snapshot_count,
+        ).run()
+        points.append((lam, result.mean_active_connections))
+    return build_curve(points)
+
+
+def test_saturation_points(benchmark):
+    def run():
+        return _carried_load_curve(3), _carried_load_curve(4)
+
+    curve3, curve4 = once(benchmark, run)
+    record(
+        "saturation",
+        format_series(
+            "lambda",
+            list(LAMBDAS),
+            {
+                "E=3 active": ["{:.0f}".format(v) for v in curve3.mean_active],
+                "E=4 active": ["{:.0f}".format(v) for v in curve4.mean_active],
+            },
+            title="no-backup carried load vs arrival rate",
+        ),
+    )
+
+    knee3 = curve3.saturation_lambda(tolerance=0.5)
+    knee4 = curve4.saturation_lambda(tolerance=0.5)
+    assert knee3 is not None, "E=3 network never saturated"
+    # Denser network carries strictly more and saturates later.
+    assert curve4.mean_active[-1] > curve3.mean_active[-1]
+    if knee4 is not None:
+        assert knee4 >= knee3
+    # The E=3 knee lands in the paper's neighbourhood (lambda ~ 0.5).
+    assert 0.3 <= knee3 <= 0.8

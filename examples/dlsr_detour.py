@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figures 2–3: why D-LSR detours.
+
+Two DR-connections are already established whose backups share a
+link.  A third connection's primary overlaps one of the existing
+primaries; a naive shortest disjoint backup would pile onto the shared
+link and create a *conflict* — if the overlapped primary link failed,
+two backups would fight for the same spare bandwidth.  D-LSR's
+Conflict Vector sees exactly which positions are dangerous and pays
+one extra hop for a conflict-free route: the paper's
+"B3' offers better fault-tolerance than B3, although it has a longer
+distance."
+
+This example builds such a situation, prints the Conflict Vectors
+involved, and shows D-LSR taking the detour while the conflict-blind
+disjoint baseline walks into the conflict.
+
+Run:  python examples/dlsr_detour.py
+"""
+
+from __future__ import annotations
+
+from repro import DRTPService, DisjointBackupScheme, DLSRScheme
+from repro.network import ConflictVector
+from repro.routing.base import RoutePlan, RouteQuery
+from repro.topology import Route, network_from_edges
+
+
+def build_network():
+    """A small two-tier network with a short shared corridor and a
+    longer clean detour, mirroring the paper's example topology."""
+    #     0 --- 1 --- 2
+    #     |     |     |
+    #     3 --- 4 --- 5
+    #     |     |     |
+    #     6 --- 7 --- 8
+    edges = [
+        (0, 1), (1, 2),
+        (3, 4), (4, 5),
+        (6, 7), (7, 8),
+        (0, 3), (3, 6),
+        (1, 4), (4, 7),
+        (2, 5), (5, 8),
+    ]
+    return network_from_edges(9, edges, capacity=10.0)
+
+
+class _Fixed:
+    """Planner returning pre-picked routes for the first connections."""
+
+    name = "fixed"
+
+    def __init__(self, plans):
+        self._plans = iter(plans)
+
+    def bind(self, context):
+        self.context = context
+
+    def plan(self, query):
+        return next(self._plans)
+
+
+def main() -> None:
+    network = build_network()
+    route = lambda nodes: Route.from_nodes(network, nodes)
+
+    # Connection a: primary 6-7-8, backup through the middle corridor.
+    # Connection b: primary 0-1-2, backup also through the corridor.
+    plans = [
+        RoutePlan(primary=route([6, 7, 8]), backup=route([6, 3, 4, 5, 8])),
+        RoutePlan(primary=route([0, 1, 2]), backup=route([0, 3, 4, 5, 2])),
+    ]
+    service = DRTPService(network, _Fixed(plans))
+    assert service.request(6, 8, 1.0).accepted
+    assert service.request(0, 2, 1.0).accepted
+
+    corridor = route([3, 4]).link_ids[0]
+    ledger = service.state.ledger(corridor)
+    cv = ConflictVector.from_aplv(ledger.aplv)
+    print(
+        "corridor link {} carries 2 backups; its Conflict Vector has "
+        "bits set at the links of BOTH primaries: {}".format(
+            corridor, sorted(cv.bits)
+        )
+    )
+
+    # Connection c: primary overlaps connection a's primary on 7-8.
+    query = RouteQuery(source=7, destination=8, bw_req=1.0)
+
+    blind = DisjointBackupScheme()
+    blind.bind(service.scheme.context)
+    blind_plan = blind.plan(query)
+
+    dlsr = DLSRScheme()
+    dlsr.bind(service.scheme.context)
+    dlsr_plan = dlsr.plan(query)
+
+    print()
+    print("new connection 7 -> 8, primary {}".format(blind_plan.primary))
+    print(
+        "conflict-blind backup : {} ({} hops)".format(
+            blind_plan.backup, blind_plan.backup.hop_count
+        )
+    )
+    print(
+        "D-LSR backup          : {} ({} hops)".format(
+            dlsr_plan.backup, dlsr_plan.backup.hop_count
+        )
+    )
+
+    blind_conflicts = sum(
+        service.database.conflict_count(b, blind_plan.primary.lset)
+        for b in blind_plan.backup.link_ids
+    )
+    dlsr_conflicts = sum(
+        service.database.conflict_count(b, dlsr_plan.primary.lset)
+        for b in dlsr_plan.backup.link_ids
+    )
+    print()
+    print(
+        "conflicts created: blind={}, D-LSR={} -> D-LSR pays {} extra "
+        "hop(s) to minimize conflicts, exactly the paper's B3 vs B3' "
+        "trade".format(
+            blind_conflicts,
+            dlsr_conflicts,
+            dlsr_plan.backup.hop_count - blind_plan.backup.hop_count,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

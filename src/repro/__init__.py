@@ -1,0 +1,122 @@
+"""repro — Dependable Real-Time Connection routing (DSN 2001 reproduction).
+
+A full implementation of the Dependable Real-Time Protocol's
+primary/backup channel management together with the three backup-
+routing schemes of Kim, Qiao, Kodase & Shin, *Design and Evaluation of
+Routing Schemes for Dependable Real-Time Connections* (DSN 2001):
+
+* **P-LSR** — probabilistic conflict avoidance via ``||APLV||_1``;
+* **D-LSR** — deterministic conflict avoidance via Conflict Vectors;
+* **BF** — on-demand discovery with bounded flooding.
+
+Quickstart::
+
+    import random
+    from repro import DRTPService, DLSRScheme, waxman_network
+
+    network = waxman_network(60, capacity=30.0, rng=random.Random(1))
+    service = DRTPService(network, DLSRScheme())
+    decision = service.request(source=0, destination=42, bw_req=1.0)
+    impact = service.assess_link_failure(
+        decision.connection.primary_route.link_ids[0]
+    )
+    print(impact.activated, "of", impact.affected, "backups would activate")
+
+Packages: :mod:`repro.topology` (networks and generators),
+:mod:`repro.network` (APLV / Conflict Vector / ledgers),
+:mod:`repro.routing` (the schemes), :mod:`repro.core` (DRTP service),
+:mod:`repro.simulation` (scenario replay), :mod:`repro.analysis`
+(metrics) and :mod:`repro.experiments` (the paper's tables/figures).
+"""
+
+from .topology import (
+    Link,
+    Network,
+    Route,
+    TopologyError,
+    hexagonal_mesh_network,
+    mesh_network,
+    ring_network,
+    waxman_network,
+)
+from .network import APLV, ConflictVector, LinkStateDatabase, NetworkState
+from .routing import (
+    BFParameters,
+    BoundedFloodingScheme,
+    DLSRScheme,
+    DisjointBackupScheme,
+    NoBackupScheme,
+    PLSRScheme,
+    RandomBackupScheme,
+    ReactiveScheme,
+    RoutePlan,
+    RouteQuery,
+    RoutingScheme,
+)
+from .core import (
+    ConnectionRequest,
+    DedicatedSparePolicy,
+    DRConnection,
+    DRTPService,
+    FailureImpact,
+    SharedSparePolicy,
+)
+from .simulation import (
+    Scenario,
+    ScenarioSimulator,
+    SimulationResult,
+    generate_scenario,
+)
+from .analysis import (
+    FaultToleranceObserver,
+    SpareShareObserver,
+    capacity_overhead_percent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "Network",
+    "Link",
+    "Route",
+    "TopologyError",
+    "waxman_network",
+    "mesh_network",
+    "ring_network",
+    "hexagonal_mesh_network",
+    # network state
+    "APLV",
+    "ConflictVector",
+    "NetworkState",
+    "LinkStateDatabase",
+    # routing
+    "RoutingScheme",
+    "RouteQuery",
+    "RoutePlan",
+    "PLSRScheme",
+    "DLSRScheme",
+    "BoundedFloodingScheme",
+    "BFParameters",
+    "NoBackupScheme",
+    "DisjointBackupScheme",
+    "RandomBackupScheme",
+    "ReactiveScheme",
+    # core
+    "DRTPService",
+    "DRConnection",
+    "ConnectionRequest",
+    "SharedSparePolicy",
+    "DedicatedSparePolicy",
+    "FailureImpact",
+    # simulation
+    "Scenario",
+    "generate_scenario",
+    "ScenarioSimulator",
+    "SimulationResult",
+    # analysis
+    "FaultToleranceObserver",
+    "SpareShareObserver",
+    "capacity_overhead_percent",
+]

@@ -1,0 +1,67 @@
+"""Analysis: fault tolerance, overheads, acceptance, saturation."""
+
+from .fault_tolerance import (
+    FaultToleranceObserver,
+    FaultToleranceStats,
+    ReactiveRecoveryObserver,
+)
+from .overhead import (
+    BandwidthBreakdown,
+    OverheadComparison,
+    SpareShareObserver,
+    capacity_overhead_percent,
+    compare_overhead,
+)
+from .acceptance import (
+    AcceptanceBreakdown,
+    acceptance_breakdown,
+    compare_acceptance,
+)
+from .messages import (
+    CDP_BYTES,
+    SchemeOverhead,
+    discovery_messages_per_request,
+    record_bytes_for_scheme,
+    routing_overhead,
+)
+from .saturation import SaturationCurve, build_curve
+from .report import format_series, format_table
+from .plot import ascii_chart
+from .hotspots import (
+    ConnectionExposure,
+    DoubleFailureStats,
+    LinkRisk,
+    assess_double_failures,
+    connection_exposures,
+    rank_link_risks,
+)
+
+__all__ = [
+    "FaultToleranceStats",
+    "FaultToleranceObserver",
+    "ReactiveRecoveryObserver",
+    "capacity_overhead_percent",
+    "OverheadComparison",
+    "compare_overhead",
+    "BandwidthBreakdown",
+    "SpareShareObserver",
+    "AcceptanceBreakdown",
+    "acceptance_breakdown",
+    "compare_acceptance",
+    "SchemeOverhead",
+    "routing_overhead",
+    "record_bytes_for_scheme",
+    "discovery_messages_per_request",
+    "CDP_BYTES",
+    "SaturationCurve",
+    "build_curve",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "LinkRisk",
+    "rank_link_risks",
+    "ConnectionExposure",
+    "connection_exposures",
+    "DoubleFailureStats",
+    "assess_double_failures",
+]

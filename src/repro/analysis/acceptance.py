@@ -1,0 +1,58 @@
+"""Connection-acceptance analysis.
+
+Section 6 measures "the probability of successfully establishing a
+DR-connection" alongside fault tolerance.  The raw ratio lives on
+:class:`~repro.simulation.simulator.SimulationResult`; the helpers
+here decompose rejections by cause and compare schemes over a common
+scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..simulation.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class AcceptanceBreakdown:
+    """Acceptance ratio plus the rejection-cause histogram."""
+
+    scheme: str
+    requests: int
+    accepted: int
+    rejected: Dict[str, int]
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.accepted / self.requests
+
+    @property
+    def blocking_probability(self) -> float:
+        return 1.0 - self.acceptance_ratio
+
+    def rejection_fraction(self, reason: str) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.rejected.get(reason, 0) / self.requests
+
+
+def acceptance_breakdown(result: SimulationResult) -> AcceptanceBreakdown:
+    return AcceptanceBreakdown(
+        scheme=result.scheme,
+        requests=result.requests,
+        accepted=result.accepted,
+        rejected=dict(result.rejected),
+    )
+
+
+def compare_acceptance(
+    results: List[SimulationResult],
+) -> List[AcceptanceBreakdown]:
+    """Per-scheme breakdowns sorted by descending acceptance ratio."""
+    breakdowns = [acceptance_breakdown(result) for result in results]
+    breakdowns.sort(key=lambda b: b.acceptance_ratio, reverse=True)
+    return breakdowns

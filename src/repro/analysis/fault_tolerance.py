@@ -1,0 +1,105 @@
+"""Fault-tolerance measurement — the paper's ``P_act-bk`` (Figure 4).
+
+"``P_act-bk`` is the probability of activating a backup channel when
+the corresponding primary channel is disabled by a single link
+failure."  At every steady-state snapshot the observer sweeps *every*
+link that carries at least one primary, asks the recovery engine which
+affected connections would successfully activate their backups, and
+aggregates: ``P_act-bk = total successes / total attempts``.
+
+The sweep is exhaustive rather than sampled — each hypothetical
+failure is assessed analytically against the live APLV/spare state, so
+enumerating all |links| cases costs far less than simulating failures
+event by event, with zero estimation variance given the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.recovery import FailureImpact
+from ..core.service import DRTPService
+from ..routing.reactive import assess_reactive_recovery
+from ..simulation.simulator import Observer
+
+
+@dataclass
+class FaultToleranceStats:
+    """Aggregated single-link-failure recovery statistics."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures_by_reason: Dict[str, int] = field(default_factory=dict)
+    links_swept: int = 0
+    snapshots: int = 0
+
+    @property
+    def p_act_bk(self) -> float:
+        """The headline fault-tolerance probability.  1.0 when no
+        primary was ever at risk (vacuously fault-tolerant)."""
+        if self.attempts == 0:
+            return 1.0
+        return self.successes / self.attempts
+
+    def absorb(self, impact: FailureImpact) -> None:
+        self.attempts += impact.affected
+        self.successes += impact.activated
+        for reason, count in impact.reasons().items():
+            if reason != "activated" and reason != "rerouted":
+                self.failures_by_reason[reason] = (
+                    self.failures_by_reason.get(reason, 0) + count
+                )
+
+    def merge(self, other: "FaultToleranceStats") -> None:
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.links_swept += other.links_swept
+        self.snapshots += other.snapshots
+        for reason, count in other.failures_by_reason.items():
+            self.failures_by_reason[reason] = (
+                self.failures_by_reason.get(reason, 0) + count
+            )
+
+
+class FaultToleranceObserver(Observer):
+    """Snapshot observer running the exhaustive failure sweep.
+
+    Args:
+        use_free_bandwidth: Let activations draw on unallocated
+            bandwidth too (ablation; the paper's ``SC`` counts spare
+            only).
+    """
+
+    def __init__(self, use_free_bandwidth: bool = False) -> None:
+        self.stats = FaultToleranceStats()
+        self.use_free_bandwidth = use_free_bandwidth
+
+    def on_snapshot(self, service: DRTPService, time: float) -> None:
+        self.stats.snapshots += 1
+        for link_id in service.links_carrying_primaries():
+            impact = service.assess_link_failure(
+                link_id, use_free_bandwidth=self.use_free_bandwidth
+            )
+            self.stats.links_swept += 1
+            self.stats.absorb(impact)
+
+
+class ReactiveRecoveryObserver(Observer):
+    """Same sweep, but recovery is reactive re-routing on free
+    bandwidth (the Section 1 baseline) instead of backup activation."""
+
+    def __init__(self) -> None:
+        self.stats = FaultToleranceStats()
+
+    def on_snapshot(self, service: DRTPService, time: float) -> None:
+        self.stats.snapshots += 1
+        for link_id in service.links_carrying_primaries():
+            impact = assess_reactive_recovery(
+                service.network,
+                service.state,
+                service.connections(),
+                link_id,
+            )
+            self.stats.links_swept += 1
+            self.stats.absorb(impact)

@@ -1,0 +1,112 @@
+"""Capacity-overhead measurement (Figure 5).
+
+Section 6.2: "we define the difference between the number of
+D-connections without backups and that of each routing scheme as
+*capacity overhead*" — i.e. how many connections the spare
+reservations squeeze out of a saturated network, expressed as a
+percentage of the no-backup count.  Both runs must replay the *same*
+scenario file, which :func:`capacity_overhead_percent` assumes and
+:class:`SpareShareObserver` complements with an instantaneous view
+(what fraction of committed bandwidth is spare, not primary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.service import DRTPService
+from ..simulation.simulator import Observer, SimulationResult
+
+
+def capacity_overhead_percent(
+    no_backup_active: float, scheme_active: float
+) -> float:
+    """Percentage drop in accommodated connections vs. the no-backup
+    baseline.  Negative values (scheme fits *more* than the baseline,
+    possible out of saturation when both accept everything) clamp to 0.
+    """
+    if no_backup_active <= 0:
+        return 0.0
+    overhead = 100.0 * (no_backup_active - scheme_active) / no_backup_active
+    return max(0.0, overhead)
+
+
+@dataclass(frozen=True)
+class OverheadComparison:
+    """Figure-5 datapoint: one scheme vs. the no-backup baseline."""
+
+    scheme: str
+    no_backup_active: float
+    scheme_active: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return capacity_overhead_percent(self.no_backup_active, self.scheme_active)
+
+
+def compare_overhead(
+    baseline: SimulationResult, result: SimulationResult
+) -> OverheadComparison:
+    """Build the comparison from two replays of one scenario."""
+    return OverheadComparison(
+        scheme=result.scheme,
+        no_backup_active=baseline.mean_active_connections,
+        scheme_active=result.mean_active_connections,
+    )
+
+
+@dataclass
+class BandwidthBreakdown:
+    """One snapshot's network-wide bandwidth split."""
+
+    time: float
+    prime_bw: float
+    spare_bw: float
+    capacity: float
+
+    @property
+    def spare_fraction_of_committed(self) -> float:
+        committed = self.prime_bw + self.spare_bw
+        if committed <= 0:
+            return 0.0
+        return self.spare_bw / committed
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity <= 0:
+            return 0.0
+        return (self.prime_bw + self.spare_bw) / self.capacity
+
+
+class SpareShareObserver(Observer):
+    """Samples the prime/spare bandwidth split at every snapshot —
+    the in-network counterpart of the connection-count overhead."""
+
+    def __init__(self) -> None:
+        self.samples: List[BandwidthBreakdown] = []
+
+    def on_snapshot(self, service: DRTPService, time: float) -> None:
+        state = service.state
+        self.samples.append(
+            BandwidthBreakdown(
+                time=time,
+                prime_bw=state.total_prime_bw(),
+                spare_bw=state.total_spare_bw(),
+                capacity=state.total_capacity(),
+            )
+        )
+
+    @property
+    def mean_spare_fraction(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.spare_fraction_of_committed for s in self.samples) / len(
+            self.samples
+        )
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.utilization for s in self.samples) / len(self.samples)

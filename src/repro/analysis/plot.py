@@ -1,0 +1,128 @@
+"""ASCII line charts for the figure reproductions.
+
+The paper's Figures 4–5 are line plots; the tables the harness prints
+carry the exact numbers, and this module adds a terminal-friendly
+visual of the same series so curve *shapes* (degradation with load,
+scheme ordering, saturation knees) are visible at a glance without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series as a character-grid line chart.
+
+    Args:
+        x_values: Shared x coordinates (ascending).
+        series: Mapping of label -> y values (same length as x).
+        width/height: Plot-area size in characters.
+        title: Optional heading line.
+        y_min/y_max: Fix the y range (default: data range, padded).
+
+    Returns:
+        A multi-line string: title, plot grid with y-axis labels, an
+        x-axis line, and a marker legend.
+    """
+    if not x_values:
+        raise ValueError("x_values may not be empty")
+    if not series:
+        raise ValueError("series may not be empty")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                "series {!r} has {} points, expected {}".format(
+                    label, len(values), len(x_values)
+                )
+            )
+
+    all_y = [y for values in series.values() for y in values]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    pad = 0.05 * (hi - lo)
+    if y_min is None:
+        lo -= pad
+    if y_max is None:
+        hi += pad
+
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+
+    def to_row(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    for index, (label, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        previous = None
+        for x, y in zip(x_values, values):
+            col, row = to_col(x), to_row(y)
+            grid[row][col] = marker
+            if previous is not None:
+                _draw_segment(grid, previous, (col, row), marker)
+            previous = (col, row)
+
+    label_width = max(
+        len("{:.3g}".format(hi)), len("{:.3g}".format(lo))
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        if row == 0:
+            y_label = "{:.3g}".format(hi).rjust(label_width)
+        elif row == height - 1:
+            y_label = "{:.3g}".format(lo).rjust(label_width)
+        else:
+            y_label = " " * label_width
+        lines.append("{} |{}".format(y_label, "".join(grid[row])))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = "{:.3g}".format(x_lo)
+    x_right = "{:.3g}".format(x_hi)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, gap) + x_right
+    )
+    legend = "   ".join(
+        "{} {}".format(MARKERS[index % len(MARKERS)], label)
+        for index, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker) -> None:
+    """Light linear interpolation between consecutive points, drawn
+    with '.' so data markers stay visible."""
+    (c0, r0), (c1, r1) = start, end
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    if steps <= 1:
+        return
+    for step in range(1, steps):
+        col = c0 + (c1 - c0) * step // steps
+        row = r0 + (r1 - r0) * step // steps
+        if grid[row][col] == " ":
+            grid[row][col] = "."

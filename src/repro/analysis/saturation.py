@@ -1,0 +1,63 @@
+"""Saturation detection.
+
+Section 6.2: "A network is said to be *saturated* if all of its
+resources are allocated to DR-connections ... The simulated network
+gets saturated as lambda reaches 0.5 (0.9) for the case of E = 3
+(E = 4)."  The capacity-overhead metric is only meaningful at or past
+saturation, so the harness needs to find the knee of the
+mean-active-connections vs. lambda curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SaturationCurve:
+    """Mean active connections as a function of arrival rate."""
+
+    lambdas: Tuple[float, ...]
+    mean_active: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lambdas) != len(self.mean_active):
+            raise ValueError("lambdas and mean_active must align")
+        if any(b < a for a, b in zip(self.lambdas, self.lambdas[1:])):
+            raise ValueError("lambdas must be sorted ascending")
+
+    def saturation_lambda(self, tolerance: float = 0.05) -> Optional[float]:
+        """First rate whose incremental gain in carried connections
+        falls below ``tolerance`` of the proportional (unblocked)
+        gain — the knee where added offered load stops being carried.
+        Returns ``None`` if the curve never flattens.
+        """
+        if len(self.lambdas) < 2:
+            return None
+        for (l0, a0), (l1, a1) in zip(
+            zip(self.lambdas, self.mean_active),
+            zip(self.lambdas[1:], self.mean_active[1:]),
+        ):
+            if a0 <= 0 or l0 <= 0:
+                continue
+            expected_gain = a0 * (l1 - l0) / l0  # proportional growth
+            actual_gain = a1 - a0
+            if expected_gain > 0 and actual_gain < tolerance * expected_gain:
+                return l1
+        return None
+
+    def is_saturated_at(self, lam: float, tolerance: float = 0.05) -> bool:
+        knee = self.saturation_lambda(tolerance)
+        return knee is not None and lam >= knee
+
+
+def build_curve(
+    points: Sequence[Tuple[float, float]]
+) -> SaturationCurve:
+    """Curve from unsorted ``(lambda, mean_active)`` pairs."""
+    ordered = sorted(points)
+    return SaturationCurve(
+        lambdas=tuple(lam for lam, _ in ordered),
+        mean_active=tuple(active for _, active in ordered),
+    )

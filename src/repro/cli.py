@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``topology`` — generate an evaluation network and save it as JSON;
+* ``scenario`` — generate a Poisson request trace (a scenario file);
+* ``replay``  — replay a scenario against a topology under a scheme,
+  printing acceptance, fault tolerance and overhead-relevant stats;
+* ``assess``  — load a topology, establish random DR-connections, and
+  sweep single-link (or node) failures;
+* ``campaign`` — alias for ``python -m repro.experiments.run_all``.
+
+Every command is deterministic given its ``--seed``; topology and
+scenario files round-trip through the serializers in
+:mod:`repro.topology.serialize` and :mod:`repro.simulation.scenario`,
+so a full evaluation can be driven from the shell with artifacts on
+disk at every step — the workflow the paper describes (Matlab scenario
+files fed into ns) with both halves in one tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    FaultToleranceObserver,
+    SpareShareObserver,
+    format_table,
+)
+from .core import DRTPService
+from .experiments import make_scheme
+from .experiments.run_all import main as campaign_main
+from .simulation import Scenario, ScenarioSimulator, generate_scenario
+from .topology import (
+    load_network,
+    mesh_network,
+    ring_network,
+    save_network,
+    waxman_network,
+)
+from .topology.waxman import WaxmanParameters
+
+SCHEME_CHOICES = ("D-LSR", "P-LSR", "BF", "disjoint", "random", "no-backup")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dependable real-time connection routing (DSN 2001 "
+        "reproduction) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate a network file")
+    topo.add_argument("output", help="where to write the topology JSON")
+    topo.add_argument("--kind", choices=("waxman", "mesh", "ring"),
+                      default="waxman")
+    topo.add_argument("--nodes", type=int, default=60)
+    topo.add_argument("--degree", type=float, default=3.0,
+                      help="Waxman average degree target")
+    topo.add_argument("--rows", type=int, default=4, help="mesh rows")
+    topo.add_argument("--cols", type=int, default=4, help="mesh cols")
+    topo.add_argument("--capacity", type=float, default=30.0)
+    topo.add_argument("--seed", type=int, default=0)
+
+    scen = sub.add_parser("scenario", help="generate a scenario file")
+    scen.add_argument("output", help="where to write the scenario JSON")
+    scen.add_argument("--nodes", type=int, default=60)
+    scen.add_argument("--rate", type=float, default=0.4,
+                      help="Poisson arrival rate (connections/second)")
+    scen.add_argument("--duration", type=float, default=5400.0,
+                      help="simulated seconds")
+    scen.add_argument("--pattern", choices=("UT", "NT"), default="UT")
+    scen.add_argument("--bw", type=float, default=1.0)
+    scen.add_argument("--seed", type=int, default=0)
+
+    replay = sub.add_parser("replay", help="replay a scenario file")
+    replay.add_argument("topology", help="topology JSON from `topology`")
+    replay.add_argument("scenario", help="scenario JSON from `scenario`")
+    replay.add_argument("--scheme", choices=SCHEME_CHOICES, default="D-LSR")
+    replay.add_argument("--warmup", type=float, default=None,
+                        help="seconds before measurement (default: half)")
+    replay.add_argument("--snapshots", type=int, default=4)
+    replay.add_argument("--num-backups", type=int, default=1)
+
+    assess = sub.add_parser(
+        "assess", help="failure sweep over a randomly loaded network"
+    )
+    assess.add_argument("topology", help="topology JSON from `topology`")
+    assess.add_argument("--scheme", choices=SCHEME_CHOICES, default="D-LSR")
+    assess.add_argument("--connections", type=int, default=50)
+    assess.add_argument("--bw", type=float, default=1.0)
+    assess.add_argument("--seed", type=int, default=0)
+    assess.add_argument("--nodes", action="store_true",
+                        help="sweep node failures instead of link failures")
+
+    camp = sub.add_parser(
+        "campaign", help="regenerate every table and figure"
+    )
+    camp.add_argument("--scale", choices=("paper", "quick", "smoke"),
+                      default="quick")
+    camp.add_argument("--seed", type=int, default=7)
+    camp.add_argument("--skip-ablations", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_topology(args: argparse.Namespace) -> int:
+    if args.kind == "waxman":
+        network = waxman_network(
+            args.nodes,
+            capacity=args.capacity,
+            parameters=WaxmanParameters(target_degree=args.degree),
+            rng=random.Random(args.seed),
+        )
+    elif args.kind == "mesh":
+        network = mesh_network(args.rows, args.cols, args.capacity)
+    else:
+        network = ring_network(args.nodes, args.capacity)
+    save_network(network, args.output)
+    print(
+        "wrote {}: {} nodes, {} links, average degree {:.2f}".format(
+            args.output,
+            network.num_nodes,
+            network.num_links,
+            network.average_degree(),
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = generate_scenario(
+        num_nodes=args.nodes,
+        arrival_rate=args.rate,
+        duration=args.duration,
+        bw_req=args.bw,
+        pattern=args.pattern,
+        seed=args.seed,
+    )
+    scenario.save(args.output)
+    print(
+        "wrote {}: {} requests over {:.0f}s (empirical rate {:.3f}/s)".format(
+            args.output,
+            scenario.num_requests,
+            scenario.duration,
+            scenario.arrival_rate,
+        )
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    network = load_network(args.topology)
+    scenario = Scenario.load(args.scenario)
+    scheme = make_scheme(args.scheme)
+    if args.num_backups > 1:
+        if not hasattr(scheme, "num_backups"):
+            print("scheme {} does not support multiple backups".format(
+                args.scheme), file=sys.stderr)
+            return 2
+        scheme.num_backups = args.num_backups
+    service = DRTPService(
+        network, scheme, require_backup=args.scheme != "no-backup"
+    )
+    ft = FaultToleranceObserver()
+    spare = SpareShareObserver()
+    warmup = args.warmup if args.warmup is not None else scenario.duration / 2
+    result = ScenarioSimulator(
+        service, scenario, warmup=warmup, snapshot_count=args.snapshots
+    ).run(observers=(ft, spare))
+    rows = [
+        ("scheme", result.scheme),
+        ("requests", result.requests),
+        ("accepted", result.accepted),
+        ("acceptance ratio", "{:.4f}".format(result.acceptance_ratio)),
+        ("mean active connections",
+         "{:.1f}".format(result.mean_active_connections)),
+        ("fault tolerance P_act-bk", "{:.4f}".format(ft.stats.p_act_bk)),
+        ("control messages / request",
+         "{:.1f}".format(result.control_messages / max(1, result.requests))),
+        ("spare share of committed bw",
+         "{:.1%}".format(spare.mean_spare_fraction)),
+    ]
+    for reason, count in sorted(result.rejected.items()):
+        rows.append(("rejected: {}".format(reason), count))
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    network = load_network(args.topology)
+    service = DRTPService(network, make_scheme(args.scheme))
+    rng = random.Random(args.seed)
+    established = 0
+    attempts = 0
+    while established < args.connections and attempts < args.connections * 10:
+        a = rng.randrange(network.num_nodes)
+        b = rng.randrange(network.num_nodes)
+        attempts += 1
+        if a != b and service.request(a, b, args.bw).accepted:
+            established += 1
+    print("{} DR-connections established".format(established))
+
+    total_attempts = total_success = 0
+    worst = None
+    if args.nodes:
+        sweep = [("node", n, service.assess_node_failure(n))
+                 for n in network.nodes()]
+    else:
+        sweep = [("link", l, service.assess_link_failure(l))
+                 for l in service.links_carrying_primaries()]
+    for _kind, _ident, impact in sweep:
+        total_attempts += impact.affected
+        total_success += impact.activated
+        if worst is None or impact.failed > worst[2].failed:
+            worst = (_kind, _ident, impact)
+    p = total_success / total_attempts if total_attempts else 1.0
+    print(
+        "failure sweep: {} recovery attempts, {} succeed -> "
+        "P_act-bk = {:.4f}".format(total_attempts, total_success, p)
+    )
+    if worst is not None and worst[2].failed:
+        print(
+            "worst case: {} {} strands {} of {} ({})".format(
+                worst[0], worst[1], worst[2].failed, worst[2].affected,
+                worst[2].reasons(),
+            )
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "topology":
+        return _cmd_topology(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "assess":
+        return _cmd_assess(args)
+    if args.command == "campaign":
+        campaign_argv: List[str] = ["--scale", args.scale,
+                                    "--seed", str(args.seed)]
+        if args.skip_ablations:
+            campaign_argv.append("--skip-ablations")
+        campaign_main(campaign_argv)
+        return 0
+    raise AssertionError("unhandled command {!r}".format(args.command))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Admission control — DR-connection management steps 1–3.
+
+Section 2.2 lists the four management steps of a DR-connection; the
+admission controller performs the first three atomically:
+
+1. select a primary route and reserve resources;
+2. find a backup route;
+3. send the backup-path register packet along it.
+
+Route *selection* is delegated to the bound routing scheme; this
+module owns the resource transaction: reserving primary bandwidth hop
+by hop, running backup registration, and rolling everything back when
+any stage fails, so a rejected request never leaks reservations.
+
+Policy knob: ``require_backup`` (default True) rejects a request whose
+backup cannot be routed or registered — a DR-connection without a
+backup offers no dependability.  With ``require_backup = False`` the
+connection is admitted unprotected, which the fault-tolerance metric
+then counts against the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..network.state import BW_EPSILON, NetworkState
+from ..routing.base import RoutePlan
+from ..topology.graph import Route
+from .channel import Channel, ChannelRole
+from .connection import ConnectionRequest, DRConnection
+from .multiplexing import SparePolicy
+from .signaling import (
+    BackupRegisterPacket,
+    BackupReleasePacket,
+    register_backup_path,
+    release_backup_path,
+)
+
+
+@dataclass
+class AdmissionDecision:
+    """The controller's verdict on one request."""
+
+    request: ConnectionRequest
+    plan: RoutePlan
+    connection: Optional[DRConnection] = None
+    reason: str = "ok"
+    backup_registration_deficit: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        return self.connection is not None
+
+
+#: Rejection reason strings (stable identifiers used by the reports).
+REASON_OK = "ok"
+REASON_NO_PRIMARY = "no-primary-route"
+REASON_PRIMARY_RESERVATION = "primary-reservation-failed"
+REASON_NO_BACKUP_ROUTE = "no-backup-route"
+REASON_BACKUP_REGISTRATION = "backup-registration-rejected"
+
+
+class AdmissionController:
+    """Transactional establishment/teardown of DR-connections."""
+
+    def __init__(
+        self,
+        state: NetworkState,
+        spare_policy: SparePolicy,
+        require_backup: bool = True,
+    ) -> None:
+        self._state = state
+        self._policy = spare_policy
+        self._require_backup = require_backup
+        self._next_seq = 0
+
+    @property
+    def spare_policy(self) -> SparePolicy:
+        return self._policy
+
+    # ------------------------------------------------------------------
+    # Establishment
+    # ------------------------------------------------------------------
+    def admit(self, request: ConnectionRequest, plan: RoutePlan) -> AdmissionDecision:
+        decision = AdmissionDecision(request=request, plan=plan)
+        if plan.primary is None:
+            decision.reason = REASON_NO_PRIMARY
+            return decision
+        if not self._reserve_primary(plan.primary, request.bw_req):
+            decision.reason = REASON_PRIMARY_RESERVATION
+            return decision
+
+        backup_channel: Optional[Channel] = None
+        extra_channels: List[Channel] = []
+        if plan.backup is None:
+            if self._require_backup:
+                self._release_primary(plan.primary, request.bw_req)
+                decision.reason = REASON_NO_BACKUP_ROUTE
+                return decision
+        else:
+            packet = BackupRegisterPacket(
+                connection_id=request.request_id,
+                backup_route=plan.backup,
+                primary_lset=plan.primary.lset,
+                bw_req=request.bw_req,
+            )
+            registration = register_backup_path(self._state, self._policy, packet)
+            if not registration.success:
+                if self._require_backup:
+                    self._release_primary(plan.primary, request.bw_req)
+                    decision.reason = REASON_BACKUP_REGISTRATION
+                    return decision
+                # Admitted unprotected: primary stands, backup dropped.
+            else:
+                decision.backup_registration_deficit = registration.total_deficit
+                backup_channel = Channel(
+                    role=ChannelRole.BACKUP, route=plan.backup
+                )
+                # Further backups are best-effort: a rejected extra
+                # never blocks admission (the first backup already
+                # delivers the dependability guarantee).
+                for index, route in enumerate(plan.extra_backups, start=1):
+                    extra = BackupRegisterPacket(
+                        connection_id=request.request_id,
+                        backup_route=route,
+                        primary_lset=plan.primary.lset,
+                        bw_req=request.bw_req,
+                        backup_index=index,
+                    )
+                    outcome = register_backup_path(
+                        self._state, self._policy, extra
+                    )
+                    if outcome.success:
+                        decision.backup_registration_deficit += (
+                            outcome.total_deficit
+                        )
+                        extra_channels.append(
+                            Channel(
+                                role=ChannelRole.BACKUP,
+                                route=route,
+                                registration_index=index,
+                            )
+                        )
+
+        connection = DRConnection(
+            connection_id=request.request_id,
+            request=request,
+            primary=Channel(role=ChannelRole.PRIMARY, route=plan.primary),
+            backup=backup_channel,
+            extra_backups=extra_channels,
+            established_seq=self._next_seq,
+        )
+        self._next_seq += 1
+        decision.connection = connection
+        return decision
+
+    # ------------------------------------------------------------------
+    # Teardown (management step 4)
+    # ------------------------------------------------------------------
+    def release(self, connection: DRConnection) -> None:
+        """Release primary and backup resources of a connection.
+
+        Released primary bandwidth returns to the free pool; the
+        per-link resize lets deficient spare pools absorb it, per
+        Section 5's replenishment rule.
+        """
+        self._release_primary(connection.primary_route, connection.bw_req)
+        for channel in connection.all_backups:
+            release_backup_path(
+                self._state,
+                self._policy,
+                BackupReleasePacket(
+                    connection_id=connection.connection_id,
+                    backup_route=channel.route,
+                    primary_lset=connection.primary_route.lset,
+                    backup_index=channel.registration_index,
+                ),
+            )
+        connection.terminate()
+
+    # ------------------------------------------------------------------
+    # Primary reservation plumbing
+    # ------------------------------------------------------------------
+    def _reserve_primary(self, route: Route, bw: float) -> bool:
+        reserved: List[int] = []
+        for link_id in route.link_ids:
+            ledger = self._state.ledger(link_id)
+            if ledger.primary_headroom() + BW_EPSILON < bw:
+                for undo in reversed(reserved):
+                    self._state.ledger(undo).release_primary(bw)
+                return False
+            ledger.reserve_primary(bw)
+            reserved.append(link_id)
+        return True
+
+    def _release_primary(self, route: Route, bw: float) -> None:
+        for link_id in route.link_ids:
+            ledger = self._state.ledger(link_id)
+            ledger.release_primary(bw)
+            # Freed bandwidth may cover a spare deficit on this link.
+            self._policy.resize(ledger)

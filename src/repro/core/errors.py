@@ -1,0 +1,23 @@
+"""Exception hierarchy for the DRTP core."""
+
+from __future__ import annotations
+
+
+class DRTPError(Exception):
+    """Base class for all DRTP-level failures."""
+
+
+class AdmissionError(DRTPError):
+    """A connection request could not be admitted."""
+
+
+class SignalingError(DRTPError):
+    """A register/release packet was rejected or malformed."""
+
+
+class RecoveryError(DRTPError):
+    """A failure-recovery operation could not be carried out."""
+
+
+class ConnectionStateError(DRTPError):
+    """An operation was attempted in an invalid connection state."""

@@ -1,0 +1,110 @@
+"""Backup multiplexing — spare-resource sizing policies (Section 5).
+
+The DR-connection manager of each link decides how much bandwidth to
+hold as *spare* for the backups registered there:
+
+* :class:`SharedSparePolicy` is the paper's rule.  All DR-connections
+  requiring identical bandwidth, ``SC_i`` (the number of backups the
+  spare can activate at once) must cover the worst single-link
+  failure: "if any element of ``APLV_i`` is larger than ``SC_i``, at
+  least two conflicting backups are multiplexed on the same spare
+  resources ... it is necessary to reserve more spare resources."
+  Generalized to per-connection bandwidths, the target is the ledger's
+  ``max_demand`` — the largest total backup bandwidth any one link
+  failure could activate here.
+
+* :class:`DedicatedSparePolicy` is the strawman DRTP rejects: every
+  backup gets its own full reservation ("equipping each DR-connection
+  even with a single backup disjoint from its primary reduces the
+  network capacity by at least 50%").  Used by the overhead baseline
+  benchmark.
+
+When a link cannot grow spare to the target ("due to the shortage of
+resources"), the paper picks option (2): multiplex the new backup on
+the existing spare with the backups it conflicts with, accepting the
+fault-tolerance degradation.  :meth:`SparePolicy.resize` therefore
+clamps the target to what fits and reports the deficit; released
+primary bandwidth is fed back to deficient spare pools on the next
+resize, matching Section 5's replenishment remark.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..network.state import BW_EPSILON, LinkLedger
+
+
+@dataclass(frozen=True)
+class ResizeOutcome:
+    """What a spare resize did on one link."""
+
+    link_id: int
+    target: float
+    achieved: float
+
+    @property
+    def deficit(self) -> float:
+        """Spare bandwidth the link *should* hold but could not fit —
+        a positive deficit means conflicting backups are multiplexed
+        over the same spare resources."""
+        return max(0.0, self.target - self.achieved)
+
+    @property
+    def fully_provisioned(self) -> bool:
+        return self.deficit <= BW_EPSILON
+
+
+class SparePolicy(abc.ABC):
+    """Decides each link's spare-bandwidth target."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def target(self, ledger: LinkLedger) -> float:
+        """Spare bandwidth this link ought to reserve."""
+
+    def resize(self, ledger: LinkLedger) -> ResizeOutcome:
+        """Move the link's spare toward the target.
+
+        Growth is bounded by the link's unallocated bandwidth; shrink
+        always succeeds.  Call after every mutation of the link's
+        backup registry or primary reservations.
+        """
+        target = self.target(ledger)
+        ceiling = ledger.capacity - ledger.prime_bw
+        achieved = min(target, max(0.0, ceiling))
+        ledger.set_spare(achieved)
+        return ResizeOutcome(
+            link_id=ledger.link_id, target=target, achieved=achieved
+        )
+
+
+class SharedSparePolicy(SparePolicy):
+    """The paper's multiplexed sizing: cover the worst single failure."""
+
+    name = "shared"
+
+    def target(self, ledger: LinkLedger) -> float:
+        return ledger.max_demand
+
+
+class DedicatedSparePolicy(SparePolicy):
+    """No multiplexing: one full reservation per registered backup."""
+
+    name = "dedicated"
+
+    def target(self, ledger: LinkLedger) -> float:
+        return ledger.total_backup_bw
+
+
+class NoSparePolicy(SparePolicy):
+    """Reserve nothing (reactive-recovery baseline: backups exist on
+    paper but own no resources; activation rides on whatever bandwidth
+    is free when the failure strikes)."""
+
+    name = "none"
+
+    def target(self, ledger: LinkLedger) -> float:
+        return 0.0

@@ -1,0 +1,454 @@
+"""Failure recovery — detection, backup activation, reconfiguration.
+
+DRTP's steps (2)–(4): after a network component fails, every affected
+DR-connection tries to *activate* its backup, which succeeds only if
+the spare resources reserved on every backup link can still cover it.
+Conflicting backups multiplexed over the same spare may lose this race
+— that is precisely the fault-tolerance loss the routing schemes try
+to minimize.
+
+Two entry points:
+
+* :func:`assess_link_failure` — *pure*: computes which activations
+  would succeed for a hypothetical single-link failure, without
+  touching any state.  The paper's ``P_act-bk`` metric aggregates this
+  over every link and many steady-state snapshots.
+
+* :func:`apply_link_failure` — *mutating*: actually switches the
+  survivors to their backups (backup bandwidth becomes primary
+  bandwidth), tears down casualties, drops backups broken by the
+  failure, and optionally re-establishes backups for connections left
+  unprotected (DRTP step 4, resource reconfiguration).
+
+Contention order: affected connections activate in establishment
+order (``established_seq``), a deterministic stand-in for the paper's
+near-simultaneous races; each success consumes spare tokens that later
+activations can no longer use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ..network.state import BW_EPSILON, NetworkState
+from .connection import ConnectionState, DRConnection
+from .errors import RecoveryError
+from .multiplexing import SparePolicy
+
+#: Activation-outcome reason strings.
+ACTIVATED = "activated"
+NO_BACKUP = "no-backup"
+BACKUP_CROSSES_FAILURE = "backup-crosses-failed-link"
+SPARE_EXHAUSTED = "spare-exhausted"
+ENDPOINT_FAILED = "endpoint-failed"
+
+
+@dataclass(frozen=True)
+class ActivationOutcome:
+    """One affected connection's recovery attempt.
+
+    ``backup_index`` is the position (within the connection's
+    activation-preference order) of the backup that activated, or -1
+    when none did — with multiple backups per connection (Section 2's
+    "one or more"), recovery falls through to the next backup when an
+    earlier one is broken or starved.
+    """
+
+    connection_id: int
+    success: bool
+    reason: str
+    backup_index: int = -1
+
+
+@dataclass
+class FailureImpact:
+    """Everything a single link failure would do to the DR-state."""
+
+    link_id: int
+    outcomes: List[ActivationOutcome] = field(default_factory=list)
+
+    @property
+    def affected(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def activated(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.success)
+
+    @property
+    def failed(self) -> int:
+        return self.affected - self.activated
+
+    def reasons(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            histogram[outcome.reason] = histogram.get(outcome.reason, 0) + 1
+        return histogram
+
+
+def assess_link_failure(
+    state: NetworkState,
+    connections: Iterable[DRConnection],
+    link_id: int,
+    use_free_bandwidth: bool = False,
+) -> FailureImpact:
+    """Judge every affected connection's activation, without mutation.
+
+    Args:
+        state: Authoritative ledgers (read-only here).
+        connections: The candidate population; only *active*
+            connections whose primary crosses ``link_id`` are affected.
+        link_id: The failed unidirectional link.
+        use_free_bandwidth: When True, activations may also draw on
+            unallocated link bandwidth (an ablation; the paper's
+            ``SC_i`` counts reserved spare only).
+    """
+    return assess_failed_links(
+        state,
+        connections,
+        frozenset({link_id}),
+        label_link=link_id,
+        use_free_bandwidth=use_free_bandwidth,
+    )
+
+
+def assess_node_failure(
+    state: NetworkState,
+    connections: Iterable[DRConnection],
+    node: int,
+    network,
+    use_free_bandwidth: bool = False,
+    count_endpoint_losses: bool = False,
+) -> FailureImpact:
+    """A switch failure kills every link touching the node (Section 1
+    lists "breakdown of network components (links and switches)").
+
+    Connections *terminating at* the dead node are unrecoverable by
+    any routing (their endpoint is gone); they are excluded from the
+    impact unless ``count_endpoint_losses`` is set, in which case they
+    appear with reason :data:`ENDPOINT_FAILED` — keeping the
+    fault-tolerance metric about routing quality, not topology luck.
+    """
+    failed = frozenset(
+        link.link_id
+        for link in network.out_links(node) + network.in_links(node)
+    )
+    impact = assess_failed_links(
+        state,
+        connections,
+        failed,
+        label_link=-node - 1,  # negative label marks a node failure
+        use_free_bandwidth=use_free_bandwidth,
+        skip_endpoint=node,
+    )
+    if count_endpoint_losses:
+        for conn in connections:
+            if conn.is_active and node in (conn.source, conn.destination):
+                impact.outcomes.append(
+                    ActivationOutcome(
+                        conn.connection_id, False, ENDPOINT_FAILED
+                    )
+                )
+    return impact
+
+
+def assess_failed_links(
+    state: NetworkState,
+    connections: Iterable[DRConnection],
+    failed_links: FrozenSet[int],
+    label_link: int = -1,
+    use_free_bandwidth: bool = False,
+    skip_endpoint: Optional[int] = None,
+) -> FailureImpact:
+    """Core activation-contention assessment for a set of dead links.
+
+    Affected connections (active, primary crossing any failed link,
+    endpoints alive) attempt activation in establishment order; a
+    backup activates iff its route avoids *every* failed link and all
+    its links retain enough residual spare.
+    """
+    impact = FailureImpact(link_id=label_link)
+    affected = sorted(
+        (
+            conn
+            for conn in connections
+            if conn.is_active
+            and not (
+                skip_endpoint is not None
+                and skip_endpoint in (conn.source, conn.destination)
+            )
+            and (conn.primary_route.lset & failed_links)
+        ),
+        key=lambda conn: conn.established_seq,
+    )
+    if not affected:
+        return impact
+
+    # Residual activation bandwidth per backup link, consumed in order.
+    residual: Dict[int, float] = {}
+
+    def budget(backup_link: int) -> float:
+        if backup_link not in residual:
+            ledger = state.ledger(backup_link)
+            pool = ledger.spare_bw
+            if use_free_bandwidth:
+                pool += ledger.free_bw
+            residual[backup_link] = pool
+        return residual[backup_link]
+
+    for conn in affected:
+        channels = conn.all_backups
+        if not channels:
+            impact.outcomes.append(
+                ActivationOutcome(conn.connection_id, False, NO_BACKUP)
+            )
+            continue
+        # Try each backup in preference order; the first whose route
+        # avoids the failure and whose links still hold spare wins.
+        activated_index = -1
+        saw_survivor = False
+        for index, channel in enumerate(channels):
+            backup = channel.route
+            if backup.lset & failed_links:
+                continue
+            saw_survivor = True
+            if all(
+                budget(b) + BW_EPSILON >= conn.bw_req
+                for b in backup.link_ids
+            ):
+                for b in backup.link_ids:
+                    residual[b] -= conn.bw_req
+                activated_index = index
+                break
+        if activated_index >= 0:
+            impact.outcomes.append(
+                ActivationOutcome(
+                    conn.connection_id, True, ACTIVATED, activated_index
+                )
+            )
+        elif saw_survivor:
+            impact.outcomes.append(
+                ActivationOutcome(conn.connection_id, False, SPARE_EXHAUSTED)
+            )
+        else:
+            impact.outcomes.append(
+                ActivationOutcome(
+                    conn.connection_id, False, BACKUP_CROSSES_FAILURE
+                )
+            )
+    return impact
+
+
+def apply_link_failure(
+    state: NetworkState,
+    policy: SparePolicy,
+    connections: Dict[int, DRConnection],
+    link_id: int,
+) -> FailureImpact:
+    """Mutating recovery: switch survivors to their backups.
+
+    The assessment (same contention semantics as
+    :func:`assess_link_failure`) decides who wins; the state mutation
+    then:
+
+    * releases every affected primary's reservations (the failed link's
+      ledger keeps honest books even though the link is dead);
+    * for winners, converts their backup registration into a primary
+      reservation hop by hop, drawing first on free bandwidth and then
+      on the spare pool the backup was multiplexed on;
+    * for losers, tears the whole connection down;
+    * drops (releases) backups of *unaffected* connections that crossed
+      the failed link — their primaries still run, but they are now
+      unprotected until reconfiguration gives them a new backup.
+
+    Returns the same :class:`FailureImpact` the assessment produced.
+    """
+    return apply_failed_links(
+        state, policy, connections, frozenset({link_id}), label_link=link_id
+    )
+
+
+def apply_node_failure(
+    state: NetworkState,
+    policy: SparePolicy,
+    connections: Dict[int, DRConnection],
+    node: int,
+    network,
+) -> FailureImpact:
+    """Mutating switch outage: every link touching ``node`` dies.
+
+    Connections terminating at the dead switch are unrecoverable by
+    any routing; they are torn down (their resources elsewhere return
+    to the pool) and reported with :data:`ENDPOINT_FAILED` appended to
+    the transit-impact outcomes.
+    """
+    failed = frozenset(
+        link.link_id
+        for link in network.out_links(node) + network.in_links(node)
+    )
+    # Endpoint casualties first: release everything they hold.
+    endpoint_outcomes = []
+    for conn in list(connections.values()):
+        if not conn.is_active:
+            continue
+        if node in (conn.source, conn.destination):
+            _release_route_primary(state, policy, conn)
+            for channel in list(conn.all_backups):
+                _drop_channel(state, policy, conn, channel)
+            conn.mark_failed()
+            del connections[conn.connection_id]
+            endpoint_outcomes.append(
+                ActivationOutcome(conn.connection_id, False, ENDPOINT_FAILED)
+            )
+    impact = apply_failed_links(
+        state,
+        policy,
+        connections,
+        failed,
+        label_link=-node - 1,
+    )
+    impact.outcomes.extend(endpoint_outcomes)
+    return impact
+
+
+def apply_failed_links(
+    state: NetworkState,
+    policy: SparePolicy,
+    connections: Dict[int, DRConnection],
+    failed_links: FrozenSet[int],
+    label_link: int = -1,
+) -> FailureImpact:
+    """Core mutating recovery for a set of simultaneously dead links."""
+    impact = assess_failed_links(
+        state, connections.values(), failed_links, label_link=label_link
+    )
+    outcome_by_id = {o.connection_id: o for o in impact.outcomes}
+
+    # Backups broken by the failure on connections whose primary is
+    # intact: release those registrations (the routes are unusable).
+    for conn in list(connections.values()):
+        if conn.connection_id in outcome_by_id or not conn.is_active:
+            continue
+        for channel in list(conn.all_backups):
+            if channel.route.lset & failed_links:
+                _drop_channel(state, policy, conn, channel)
+
+    for conn_id, outcome in outcome_by_id.items():
+        conn = connections[conn_id]
+        conn.mark_recovering()
+        _release_route_primary(state, policy, conn)
+        if outcome.success:
+            # Bring the winning backup to the front, then promote it;
+            # the rest were routed against the dead primary and are
+            # released (reconfiguration re-plans them).
+            conn.select_backup(outcome.backup_index)
+            for channel in list(conn.extra_backups):
+                _drop_channel(state, policy, conn, channel)
+            _promote(state, policy, conn)
+        else:
+            for channel in list(conn.all_backups):
+                _drop_channel(state, policy, conn, channel)
+            conn.mark_failed()
+            del connections[conn_id]
+    return impact
+
+
+def reconfigure_unprotected(
+    state: NetworkState,
+    policy: SparePolicy,
+    connections: Dict[int, DRConnection],
+    scheme,
+) -> int:
+    """DRTP step 4: find new backups for unprotected connections.
+
+    ``scheme`` is any bound :class:`~repro.routing.base.RoutingScheme`;
+    its backup-selection machinery is reused by planning against the
+    existing primary.  Returns how many connections were re-protected.
+    """
+    from .signaling import BackupRegisterPacket, register_backup_path
+    from ..routing.base import RouteQuery
+    from .channel import Channel, ChannelRole
+
+    restored = 0
+    for conn in connections.values():
+        if conn.backup is not None or not conn.is_active:
+            continue
+        backup = scheme.plan_backup(
+            RouteQuery(conn.source, conn.destination, conn.bw_req),
+            conn.primary_route,
+        )
+        if backup is None or backup.lset == conn.primary_route.lset:
+            continue
+        packet = BackupRegisterPacket(
+            connection_id=conn.connection_id,
+            backup_route=backup,
+            primary_lset=conn.primary_route.lset,
+            bw_req=conn.bw_req,
+        )
+        if register_backup_path(state, policy, packet).success:
+            conn.backup = Channel(
+                role=ChannelRole.BACKUP, route=backup, registration_index=0
+            )
+            conn.state = ConnectionState.ACTIVE
+            restored += 1
+    return restored
+
+
+# ----------------------------------------------------------------------
+# Mutation helpers
+# ----------------------------------------------------------------------
+def _release_route_primary(
+    state: NetworkState, policy: SparePolicy, conn: DRConnection
+) -> None:
+    for b in conn.primary_route.link_ids:
+        ledger = state.ledger(b)
+        ledger.release_primary(conn.bw_req)
+        policy.resize(ledger)
+
+
+def _drop_channel(
+    state: NetworkState,
+    policy: SparePolicy,
+    conn: DRConnection,
+    channel,
+) -> None:
+    """Release one backup channel's registrations and detach it."""
+    key = channel.registration_key(conn.connection_id)
+    for b in channel.route.link_ids:
+        ledger = state.ledger(b)
+        ledger.release_backup(key)
+        policy.resize(ledger)
+    channel.release()
+    if conn.backup is channel:
+        conn.backup = (
+            conn.extra_backups.pop(0) if conn.extra_backups else None
+        )
+    else:
+        conn.extra_backups.remove(channel)
+    if conn.backup is None and conn.state is ConnectionState.ACTIVE:
+        conn.state = ConnectionState.UNPROTECTED
+
+
+def _promote(
+    state: NetworkState, policy: SparePolicy, conn: DRConnection
+) -> None:
+    """Turn the first backup's registration into a primary reservation."""
+    channel = conn.backup
+    assert channel is not None
+    key = channel.registration_key(conn.connection_id)
+    for b in channel.route.link_ids:
+        ledger = state.ledger(b)
+        ledger.release_backup(key)
+        # Claim the connection's bandwidth: free first, spare covers
+        # the shortfall (that is what the spare was reserved for).
+        shortfall = conn.bw_req - ledger.free_bw
+        if shortfall > BW_EPSILON:
+            if ledger.spare_bw + BW_EPSILON < shortfall:
+                raise RecoveryError(
+                    "link {}: assessment promised spare that is missing".format(b)
+                )
+            ledger.set_spare(ledger.spare_bw - shortfall)
+        ledger.reserve_primary(conn.bw_req)
+        policy.resize(ledger)
+    conn.promote_backup()

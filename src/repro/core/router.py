@@ -1,0 +1,214 @@
+"""Per-router DR-connection managers (Section 2.2's architecture).
+
+"To support the DR-connection service, every router is equipped with a
+DR-connection manager which consists of two modules: one routes backup
+channels and the other multiplexes backups."  The rest of this library
+is logically centralized for simulation speed; this module provides
+the faithful *distributed* view — one :class:`RouterNode` per switch,
+each owning only the ledgers of its outgoing links — plus a
+:class:`DistributedControlPlane` that performs connection
+establishment as actual hop-by-hop message processing with explicit
+message counting.
+
+The distributed walk and the centralized transaction in
+:mod:`repro.core.admission` are behaviorally identical (the test suite
+asserts it); the value here is architectural fidelity and the control-
+message accounting the overhead analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..network.state import BW_EPSILON, NetworkState
+from ..topology.graph import Network, Route
+from .errors import SignalingError
+from .multiplexing import ResizeOutcome, SparePolicy
+from .signaling import BackupRegisterPacket, BackupReleasePacket
+
+
+class DRConnectionManager:
+    """One router's manager: multiplexes backups on its own links.
+
+    The router keeps *only* per-own-link state — the backup-channel
+    table and APLV of each outgoing link — which is the paper's answer
+    to the ``O(n × average-path-length)`` scalability problem: the
+    LSETs needed to maintain APLVs arrive piggybacked on the register
+    and release packets rather than being stored anywhere.
+    """
+
+    def __init__(
+        self, node: int, network: Network, state: NetworkState,
+        policy: SparePolicy,
+    ) -> None:
+        self.node = node
+        self._state = state
+        self._policy = policy
+        self._own_links = tuple(
+            link.link_id for link in network.out_links(node)
+        )
+
+    @property
+    def own_links(self) -> Tuple[int, ...]:
+        return self._own_links
+
+    def _check_owned(self, link_id: int) -> None:
+        if link_id not in self._own_links:
+            raise SignalingError(
+                "router {} does not own link {}".format(self.node, link_id)
+            )
+
+    # ------------------------------------------------------------------
+    # Packet handling (Section 2.2's four-step management, per hop)
+    # ------------------------------------------------------------------
+    def handle_register(
+        self, packet: BackupRegisterPacket, out_link: int
+    ) -> Optional[ResizeOutcome]:
+        """Process a backup-path register packet for one outgoing link.
+
+        Checks available resources, registers the backup in the link's
+        backup-channel table, updates the APLV from the piggybacked
+        LSET and resizes the spare pool.  Returns the resize outcome,
+        or ``None`` when the router *rejects* the request (the caller
+        then sends the release packet back upstream).
+        """
+        self._check_owned(out_link)
+        ledger = self._state.ledger(out_link)
+        if ledger.backup_headroom() + BW_EPSILON < packet.bw_req:
+            return None
+        ledger.register_backup(
+            packet.registration_key, packet.primary_lset, packet.bw_req
+        )
+        return self._policy.resize(ledger)
+
+    def handle_release(
+        self, packet: BackupReleasePacket, out_link: int
+    ) -> ResizeOutcome:
+        """Process a backup-path release packet for one outgoing link."""
+        self._check_owned(out_link)
+        ledger = self._state.ledger(out_link)
+        ledger.release_backup(packet.registration_key)
+        return self._policy.resize(ledger)
+
+    def handle_primary_reserve(self, out_link: int, bw: float) -> bool:
+        """Reserve primary bandwidth on one owned link (False = reject)."""
+        self._check_owned(out_link)
+        ledger = self._state.ledger(out_link)
+        if ledger.primary_headroom() + BW_EPSILON < bw:
+            return False
+        ledger.reserve_primary(bw)
+        return True
+
+    def handle_primary_release(self, out_link: int, bw: float) -> None:
+        self._check_owned(out_link)
+        ledger = self._state.ledger(out_link)
+        ledger.release_primary(bw)
+        self._policy.resize(ledger)
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a hop-by-hop signaling walk."""
+
+    success: bool
+    messages: int = 0
+    rejected_link: Optional[int] = None
+    resizes: List[ResizeOutcome] = field(default_factory=list)
+
+
+class DistributedControlPlane:
+    """Hop-by-hop DR-connection signaling across router objects.
+
+    Message accounting: one message per hop of every packet walk,
+    including the unwind walk a mid-path rejection triggers — the
+    quantity a deployment would see on the wire for connection
+    management (reported next to BF's CDP counts by the overhead
+    analysis).
+    """
+
+    def __init__(
+        self, network: Network, state: NetworkState, policy: SparePolicy
+    ) -> None:
+        self.network = network
+        self.state = state
+        self.routers: Dict[int, DRConnectionManager] = {
+            node: DRConnectionManager(node, network, state, policy)
+            for node in network.nodes()
+        }
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # Primary establishment
+    # ------------------------------------------------------------------
+    def reserve_primary(self, route: Route, bw: float) -> WalkResult:
+        """Walk a primary-setup packet along the route."""
+        result = WalkResult(success=True)
+        reserved: List[int] = []
+        for link_id in route.link_ids:
+            router = self.routers[self.network.link(link_id).src]
+            result.messages += 1
+            if not router.handle_primary_reserve(link_id, bw):
+                result.success = False
+                result.rejected_link = link_id
+                # Teardown message walks back upstream.
+                for undo in reversed(reserved):
+                    self.routers[
+                        self.network.link(undo).src
+                    ].handle_primary_release(undo, bw)
+                    result.messages += 1
+                break
+            reserved.append(link_id)
+        self.messages_sent += result.messages
+        return result
+
+    def release_primary(self, route: Route, bw: float) -> int:
+        messages = 0
+        for link_id in route.link_ids:
+            router = self.routers[self.network.link(link_id).src]
+            router.handle_primary_release(link_id, bw)
+            messages += 1
+        self.messages_sent += messages
+        return messages
+
+    # ------------------------------------------------------------------
+    # Backup registration
+    # ------------------------------------------------------------------
+    def register_backup(self, packet: BackupRegisterPacket) -> WalkResult:
+        """Walk a register packet; a rejecting router answers with a
+        release packet that unwinds upstream registrations."""
+        result = WalkResult(success=True)
+        registered: List[int] = []
+        for link_id in packet.backup_route.link_ids:
+            router = self.routers[self.network.link(link_id).src]
+            result.messages += 1
+            outcome = router.handle_register(packet, link_id)
+            if outcome is None:
+                result.success = False
+                result.rejected_link = link_id
+                release = BackupReleasePacket(
+                    connection_id=packet.connection_id,
+                    backup_route=packet.backup_route,
+                    primary_lset=packet.primary_lset,
+                    backup_index=packet.backup_index,
+                )
+                for undo in reversed(registered):
+                    self.routers[
+                        self.network.link(undo).src
+                    ].handle_release(release, undo)
+                    result.messages += 1
+                result.resizes = []
+                break
+            result.resizes.append(outcome)
+            registered.append(link_id)
+        self.messages_sent += result.messages
+        return result
+
+    def release_backup(self, packet: BackupReleasePacket) -> int:
+        messages = 0
+        for link_id in packet.backup_route.link_ids:
+            router = self.routers[self.network.link(link_id).src]
+            router.handle_release(packet, link_id)
+            messages += 1
+        self.messages_sent += messages
+        return messages

@@ -1,0 +1,314 @@
+"""DRTPService — the public facade of the library.
+
+One service instance manages the DR-connections of one network under
+one routing scheme and one spare-multiplexing policy::
+
+    from repro import DRTPService, DLSRScheme, waxman_network
+
+    net = waxman_network(60, capacity=30.0)
+    service = DRTPService(net, DLSRScheme())
+    decision = service.request(source=3, destination=41, bw_req=1.0)
+    impact = service.assess_link_failure(some_link_id)
+    service.release(decision.connection.connection_id)
+
+The service is what the discrete-event simulator drives and what the
+examples exercise; it is deliberately synchronous and deterministic so
+that replaying one scenario file under different schemes (the paper's
+comparison methodology) is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..network.database import LinkStateDatabase
+from ..network.state import NetworkState
+from ..routing.base import RouteQuery, RoutingContext, RoutingScheme
+from ..topology.graph import Network
+from .admission import AdmissionController, AdmissionDecision
+from .connection import ConnectionRequest, DRConnection
+from .errors import ConnectionStateError
+from .multiplexing import SharedSparePolicy, SparePolicy
+from .recovery import (
+    FailureImpact,
+    apply_link_failure,
+    apply_node_failure,
+    assess_link_failure,
+    assess_node_failure,
+    reconfigure_unprotected,
+)
+
+
+@dataclass
+class ServiceCounters:
+    """Cumulative service-level statistics."""
+
+    requests: int = 0
+    accepted: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    released: int = 0
+    control_messages: int = 0
+    backup_overlap_links: int = 0
+    backups_with_overlap: int = 0
+    primary_hops_total: int = 0
+    backup_hops_total: int = 0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.accepted / self.requests
+
+    def record_rejection(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+class DRTPService:
+    """Admission, teardown and recovery for DR-connections."""
+
+    def __init__(
+        self,
+        network: Network,
+        scheme: RoutingScheme,
+        spare_policy: Optional[SparePolicy] = None,
+        require_backup: bool = True,
+        database: Optional[LinkStateDatabase] = None,
+        live_database: bool = True,
+        qos_slack: Optional[int] = None,
+    ) -> None:
+        """``live_database=False`` routes from periodically-refreshed
+        snapshots instead of instantly-converged link state — the
+        staleness regime real link-state protocols live in.  Call
+        :meth:`refresh_database` (or let the simulator schedule it) to
+        re-flood; admission rolls back cleanly when stale information
+        leads routing astray.
+
+        ``qos_slack`` models a delay QoS: every connection's routes
+        (primary and backups) are bounded to ``min_hop_distance +
+        qos_slack`` hops.  ``None`` (the paper's evaluation setting)
+        leaves route lengths unbounded."""
+        self.network = network
+        self.state = NetworkState(network)
+        if database is not None:
+            self.database = database
+        else:
+            self.database = LinkStateDatabase(self.state, live=live_database)
+        self.scheme = scheme
+        scheme.bind(RoutingContext(network, self.state, self.database))
+        self.spare_policy = spare_policy or SharedSparePolicy()
+        if qos_slack is not None and qos_slack < 0:
+            raise ValueError("qos_slack must be >= 0 when given")
+        self.qos_slack = qos_slack
+        self._admission = AdmissionController(
+            self.state, self.spare_policy, require_backup=require_backup
+        )
+        self._connections: Dict[int, DRConnection] = {}
+        self._next_request_id = 0
+        self.counters = ServiceCounters()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        source: int,
+        destination: int,
+        bw_req: float,
+        arrival_time: float = 0.0,
+        holding_time: float = float("inf"),
+        request_id: Optional[int] = None,
+    ) -> AdmissionDecision:
+        """Ask for a DR-connection; routes, reserves and registers."""
+        if request_id is None:
+            request_id = self._next_request_id
+        self._next_request_id = max(self._next_request_id, request_id) + 1
+        req = ConnectionRequest(
+            request_id=request_id,
+            source=source,
+            destination=destination,
+            bw_req=bw_req,
+            arrival_time=arrival_time,
+            holding_time=holding_time,
+        )
+        return self.admit(req)
+
+    def admit(self, req: ConnectionRequest) -> AdmissionDecision:
+        """Admit a pre-built request (the simulator's entry point)."""
+        self.counters.requests += 1
+        plan = self.scheme.plan(
+            RouteQuery(
+                req.source,
+                req.destination,
+                req.bw_req,
+                max_hops=self._qos_bound(req.source, req.destination),
+            )
+        )
+        self.counters.control_messages += plan.control_messages
+        decision = self._admission.admit(req, plan)
+        if decision.accepted:
+            connection = decision.connection
+            assert connection is not None
+            self._connections[connection.connection_id] = connection
+            self.counters.accepted += 1
+            overlap = connection.backup_overlap_with_primary()
+            if overlap:
+                self.counters.backups_with_overlap += 1
+                self.counters.backup_overlap_links += overlap
+            self.counters.primary_hops_total += connection.primary_route.hop_count
+            if connection.backup_route is not None:
+                self.counters.backup_hops_total += connection.backup_route.hop_count
+        else:
+            self.counters.record_rejection(decision.reason)
+        return decision
+
+    def _qos_bound(self, source: int, destination: int) -> Optional[int]:
+        """The per-connection hop bound under the service's QoS slack:
+        minimum hop distance plus the slack, or ``None`` when the
+        service imposes no delay QoS."""
+        if self.qos_slack is None:
+            return None
+        distance = self.scheme.context.distance_tables[source].distance(
+            destination
+        )
+        if distance == float("inf"):
+            return 1  # unreachable; any bound rejects cleanly
+        return int(distance) + self.qos_slack
+
+    def release(self, connection_id: int) -> None:
+        """Terminate a connection and return all its resources."""
+        try:
+            connection = self._connections.pop(connection_id)
+        except KeyError:
+            raise ConnectionStateError(
+                "no active connection with id {}".format(connection_id)
+            )
+        self._admission.release(connection)
+        self.counters.released += 1
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def assess_link_failure(
+        self, link_id: int, use_free_bandwidth: bool = False
+    ) -> FailureImpact:
+        """What would happen if this link failed right now (pure)."""
+        return assess_link_failure(
+            self.state,
+            self._connections.values(),
+            link_id,
+            use_free_bandwidth=use_free_bandwidth,
+        )
+
+    def assess_node_failure(
+        self,
+        node: int,
+        use_free_bandwidth: bool = False,
+        count_endpoint_losses: bool = False,
+    ) -> FailureImpact:
+        """What would happen if this switch failed right now (pure):
+        all of its links die at once."""
+        return assess_node_failure(
+            self.state,
+            list(self._connections.values()),
+            node,
+            self.network,
+            use_free_bandwidth=use_free_bandwidth,
+            count_endpoint_losses=count_endpoint_losses,
+        )
+
+    def fail_link(self, link_id: int, reconfigure: bool = True) -> FailureImpact:
+        """Fail a link for real: activate surviving backups, tear down
+        casualties, and (optionally) re-protect unprotected survivors
+        via DRTP's resource-reconfiguration step.  The link stays out
+        of every route search until :meth:`repair_link`."""
+        self.state.mark_link_failed(link_id)
+        impact = apply_link_failure(
+            self.state, self.spare_policy, self._connections, link_id
+        )
+        if reconfigure:
+            reconfigure_unprotected(
+                self.state, self.spare_policy, self._connections, self.scheme
+            )
+        return impact
+
+    def fail_node(self, node: int, reconfigure: bool = True) -> FailureImpact:
+        """Fail a switch for real: every adjacent link dies, transit
+        connections recover via surviving backups, connections
+        terminating at the node are torn down."""
+        for link in (
+            self.network.out_links(node) + self.network.in_links(node)
+        ):
+            self.state.mark_link_failed(link.link_id)
+        impact = apply_node_failure(
+            self.state,
+            self.spare_policy,
+            self._connections,
+            node,
+            self.network,
+        )
+        if reconfigure:
+            reconfigure_unprotected(
+                self.state, self.spare_policy, self._connections, self.scheme
+            )
+        return impact
+
+    def repair_link(self, link_id: int) -> None:
+        """Return a previously failed link to service; its bandwidth
+        becomes routable again immediately."""
+        self.state.mark_link_repaired(link_id)
+
+    def repair_node(self, node: int) -> None:
+        """Return a switch (all its links) to service."""
+        for link in (
+            self.network.out_links(node) + self.network.in_links(node)
+        ):
+            self.state.mark_link_repaired(link.link_id)
+
+    def refresh_database(self) -> None:
+        """Re-flood link state (no-op effect for live databases)."""
+        if not self.database.live:
+            self.database.refresh()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def active_connection_count(self) -> int:
+        return len(self._connections)
+
+    def connections(self) -> Iterator[DRConnection]:
+        return iter(self._connections.values())
+
+    def connection(self, connection_id: int) -> DRConnection:
+        try:
+            return self._connections[connection_id]
+        except KeyError:
+            raise ConnectionStateError(
+                "no active connection with id {}".format(connection_id)
+            )
+
+    def has_connection(self, connection_id: int) -> bool:
+        return connection_id in self._connections
+
+    def links_carrying_primaries(self) -> List[int]:
+        """Link ids crossed by at least one active primary — the
+        failure sites that matter for the ``P_act-bk`` sweep."""
+        seen = set()
+        for conn in self._connections.values():
+            if conn.is_active:
+                seen.update(conn.primary_route.link_ids)
+        return sorted(seen)
+
+    def check_invariants(self) -> None:
+        """Cross-check ledgers against the live connection table."""
+        self.state.check_invariants()
+        for conn in self._connections.values():
+            for channel in conn.all_backups:
+                key = channel.registration_key(conn.connection_id)
+                for link_id in channel.route.link_ids:
+                    if not self.state.ledger(link_id).has_backup(key):
+                        raise ConnectionStateError(
+                            "connection {} backup missing from link {} "
+                            "registry".format(conn.connection_id, link_id)
+                        )

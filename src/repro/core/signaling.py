@@ -1,0 +1,151 @@
+"""Backup-path signaling (Section 2.2).
+
+After the primary channel is placed, the source sends a *backup-path
+register packet* along the chosen backup route.  The packet carries
+the ``LSET`` of the corresponding primary so that every router on the
+path can update the APLV of the link the backup traverses without
+storing any per-connection state beyond its own links — the paper's
+answer to the ``O(n × average-path-length)`` scalability problem.
+
+Each router on the path:
+
+1. checks the amount of available resources on the outgoing link
+   (a backup needs ``total_bw − prime_bw ≥ bw_req``; reserved spare is
+   shareable);
+2. registers the backup in the link's backup-channel table and updates
+   the link's APLV using the piggybacked ``LSET``;
+3. asks the multiplexing policy to resize the spare pool;
+4. forwards the packet.
+
+A router that rejects the request answers with a *backup-release
+packet* (also carrying the primary's ``LSET``) that unwinds the
+registrations made upstream.  :func:`register_backup_path` performs
+the walk and the unwind atomically from the caller's perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from ..network.state import BW_EPSILON, NetworkState
+from ..topology.graph import Route
+from .errors import SignalingError
+from .multiplexing import ResizeOutcome, SparePolicy
+
+
+@dataclass(frozen=True)
+class BackupRegisterPacket:
+    """The backup-path register packet of Section 2.2.
+
+    ``backup_index`` distinguishes the channels of a multi-backup
+    DR-connection (0 = first backup); each backup registers in the
+    per-link backup-channel tables under its own key.
+    """
+
+    connection_id: int
+    backup_route: Route
+    primary_lset: FrozenSet[int]
+    bw_req: float
+    backup_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bw_req <= 0:
+            raise SignalingError("bw_req must be positive")
+        if self.backup_index < 0:
+            raise SignalingError("backup_index must be >= 0")
+
+    @property
+    def registration_key(self):
+        """Per-link registry key; plain connection id for the first
+        backup (the common, paper-default case)."""
+        if self.backup_index == 0:
+            return self.connection_id
+        return (self.connection_id, self.backup_index)
+
+
+@dataclass(frozen=True)
+class BackupReleasePacket:
+    """The backup-path release packet (teardown or upstream unwind)."""
+
+    connection_id: int
+    backup_route: Route
+    primary_lset: FrozenSet[int]
+    backup_index: int = 0
+
+    @property
+    def registration_key(self):
+        if self.backup_index == 0:
+            return self.connection_id
+        return (self.connection_id, self.backup_index)
+
+
+@dataclass
+class RegistrationResult:
+    """Outcome of walking a register packet along the backup route."""
+
+    success: bool
+    rejected_link: Optional[int] = None
+    resizes: List[ResizeOutcome] = field(default_factory=list)
+    hops_signaled: int = 0
+
+    @property
+    def total_deficit(self) -> float:
+        """Spare bandwidth that could not be provisioned along the
+        route; positive means conflicting backups were multiplexed."""
+        return sum(outcome.deficit for outcome in self.resizes)
+
+
+def register_backup_path(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+) -> RegistrationResult:
+    """Walk the register packet hop by hop; unwind on rejection."""
+    result = RegistrationResult(success=True)
+    registered: List[int] = []
+    for link_id in packet.backup_route.link_ids:
+        ledger = state.ledger(link_id)
+        result.hops_signaled += 1
+        if ledger.backup_headroom() + BW_EPSILON < packet.bw_req:
+            # Reject here; send the release packet back upstream.
+            _unwind(state, policy, packet.registration_key, registered)
+            result.success = False
+            result.rejected_link = link_id
+            result.resizes = []
+            return result
+        ledger.register_backup(
+            packet.registration_key, packet.primary_lset, packet.bw_req
+        )
+        result.resizes.append(policy.resize(ledger))
+        registered.append(link_id)
+    return result
+
+
+def release_backup_path(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupReleasePacket,
+) -> List[ResizeOutcome]:
+    """Walk a release packet along the backup route, shrinking spare
+    pools as registrations disappear."""
+    outcomes = []
+    for link_id in packet.backup_route.link_ids:
+        ledger = state.ledger(link_id)
+        ledger.release_backup(packet.registration_key)
+        outcomes.append(policy.resize(ledger))
+    return outcomes
+
+
+def _unwind(
+    state: NetworkState,
+    policy: SparePolicy,
+    registration_key,
+    registered: List[int],
+) -> None:
+    """Model the upstream release packet: undo registrations in
+    reverse hop order, resizing each spare pool back down."""
+    for link_id in reversed(registered):
+        ledger = state.ledger(link_id)
+        ledger.release_backup(registration_key)
+        policy.resize(ledger)

@@ -1,0 +1,78 @@
+"""CSV export of figure panels.
+
+For plotting outside this repository (gnuplot, matplotlib, a
+spreadsheet), every figure panel exports to a flat CSV: one row per
+arrival rate, one column per (scheme, traffic-pattern) curve — the
+exact series the paper plots.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .config import ExperimentScale, FIGURE_LAMBDAS, QUICK_SCALE
+from .figure4 import figure4_panel
+from .figure5 import figure5_panel
+
+Curves = Dict[Tuple[str, str], List[float]]
+
+
+def panel_rows(
+    curves: Curves, lambdas: Sequence[float]
+) -> Tuple[List[str], List[List[float]]]:
+    """Flatten panel curves into a CSV header + rows."""
+    keys = sorted(curves)
+    header = ["lambda"] + ["{} {}".format(s, p) for s, p in keys]
+    rows = []
+    for index, lam in enumerate(lambdas):
+        rows.append([lam] + [curves[key][index] for key in keys])
+    return header, rows
+
+
+def write_panel_csv(
+    path: Union[str, Path], curves: Curves, lambdas: Sequence[float]
+) -> None:
+    header, rows = panel_rows(curves, lambdas)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def read_panel_csv(path: Union[str, Path]) -> Tuple[List[str], List[List[float]]]:
+    """Read back a panel CSV (tests and downstream tooling)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [[float(cell) for cell in row] for row in reader]
+    return header, rows
+
+
+def export_campaign(
+    output_dir: Union[str, Path],
+    scale: ExperimentScale = QUICK_SCALE,
+    degrees: Sequence[int] = (3, 4),
+    master_seed: int = 7,
+) -> List[Path]:
+    """Run (or reuse cached) figure campaigns and write all panels.
+
+    Produces ``figure4a.csv`` / ``figure4b.csv`` (fault tolerance) and
+    ``figure5a.csv`` / ``figure5b.csv`` (capacity overhead %).
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for degree in degrees:
+        panel = "a" if degree == 3 else "b"
+        lambdas = FIGURE_LAMBDAS[degree]
+        for figure, builder in (
+            ("figure4", figure4_panel),
+            ("figure5", figure5_panel),
+        ):
+            curves = builder(degree, scale=scale, master_seed=master_seed)
+            path = out / "{}{}.csv".format(figure, panel)
+            write_panel_csv(path, curves, lambdas)
+            written.append(path)
+    return written

@@ -1,0 +1,97 @@
+"""Figure 4 — fault tolerance of the three routing schemes.
+
+The paper plots ``P_act-bk`` against the arrival rate lambda for six
+curves per panel (three schemes x two traffic patterns); panel (a) is
+the E = 3 network, panel (b) E = 4.  Expected shape (Section 6.2):
+
+* D-LSR best, BF worst in most cases;
+* D-LSR/P-LSR degrade with load, BF flatter;
+* all schemes better at E = 4;
+* the D-LSR vs P-LSR gap widens under NT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.plot import ascii_chart
+from ..analysis.report import format_series
+from .config import (
+    DEFAULT_PARAMETERS,
+    ExperimentScale,
+    FIGURE_LAMBDAS,
+    QUICK_SCALE,
+    Table1Parameters,
+)
+from .sweep import PAPER_SCHEMES, PointResult, run_panel
+
+
+def figure4_panel(
+    degree: int,
+    lambdas: Optional[Sequence[float]] = None,
+    patterns: Sequence[str] = ("UT", "NT"),
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    scale: ExperimentScale = QUICK_SCALE,
+    parameters: Optional[Table1Parameters] = None,
+    master_seed: int = 7,
+) -> Dict[Tuple[str, str], List[float]]:
+    """One panel's curves: ``(scheme, pattern) -> [P_act-bk per lam]``."""
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    points = run_panel(
+        degree, lams, patterns, schemes, scale, parameters, master_seed
+    )
+    curves: Dict[Tuple[str, str], List[float]] = {
+        (scheme, pattern): [] for pattern in patterns for scheme in schemes
+    }
+    indexed = {
+        (p.scheme, p.pattern, p.lam): p.fault_tolerance for p in points
+    }
+    for pattern in patterns:
+        for scheme in schemes:
+            curves[(scheme, pattern)] = [
+                indexed[(scheme, pattern, lam)] for lam in lams
+            ]
+    return curves
+
+
+def format_figure4(
+    degree: int,
+    curves: Dict[Tuple[str, str], List[float]],
+    lambdas: Optional[Sequence[float]] = None,
+) -> str:
+    """Paper-style printout of one Figure-4 panel."""
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    series = {
+        "{}, {}".format(scheme, pattern): [
+            "{:.4f}".format(v) for v in values
+        ]
+        for (scheme, pattern), values in curves.items()
+    }
+    return format_series(
+        "lambda",
+        list(lams),
+        series,
+        title="Figure 4({}) fault tolerance P_act-bk, E = {}".format(
+            "a" if degree == 3 else "b", degree
+        ),
+    )
+
+
+def chart_figure4(
+    degree: int,
+    curves: Dict[Tuple[str, str], List[float]],
+    lambdas: Optional[Sequence[float]] = None,
+) -> str:
+    """The same panel as an ASCII line chart (curve shapes at a
+    glance, matching the paper's plot style)."""
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    return ascii_chart(
+        list(lams),
+        {
+            "{}, {}".format(scheme, pattern): values
+            for (scheme, pattern), values in curves.items()
+        },
+        title="Figure 4({}): P_act-bk vs lambda, E = {}".format(
+            "a" if degree == 3 else "b", degree
+        ),
+    )

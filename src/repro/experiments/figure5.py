@@ -1,0 +1,96 @@
+"""Figure 5 — capacity overhead of the three routing schemes.
+
+The paper plots, per panel (E = 3 / E = 4), the percentage of
+connections that spare reservations squeeze out relative to the
+no-backup baseline, for the six (scheme, pattern) curves.  Expected
+shape (Section 6.2): at most ~25 % under UT and ~20 % under NT, with
+overhead only materializing once the network saturates (lambda ≈ 0.5
+for E = 3, ≈ 0.9 for E = 4) — "DR-connections are shown to have high
+fault-tolerance and low capacity overhead until the network load
+reaches 70 % of the maximum load."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.plot import ascii_chart
+from ..analysis.report import format_series
+from .config import (
+    ExperimentScale,
+    FIGURE_LAMBDAS,
+    QUICK_SCALE,
+    Table1Parameters,
+)
+from .sweep import PAPER_SCHEMES, run_panel
+
+
+def figure5_panel(
+    degree: int,
+    lambdas: Optional[Sequence[float]] = None,
+    patterns: Sequence[str] = ("UT", "NT"),
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    scale: ExperimentScale = QUICK_SCALE,
+    parameters: Optional[Table1Parameters] = None,
+    master_seed: int = 7,
+) -> Dict[Tuple[str, str], List[float]]:
+    """One panel's curves: ``(scheme, pattern) -> [overhead % per lam]``.
+
+    Shares the simulation campaign with :func:`figure4_panel` through
+    the sweep cache, mirroring how both paper figures read one set of
+    runs.
+    """
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    points = run_panel(
+        degree, lams, patterns, schemes, scale, parameters, master_seed
+    )
+    indexed = {
+        (p.scheme, p.pattern, p.lam): p.overhead_percent for p in points
+    }
+    return {
+        (scheme, pattern): [indexed[(scheme, pattern, lam)] for lam in lams]
+        for pattern in patterns
+        for scheme in schemes
+    }
+
+
+def format_figure5(
+    degree: int,
+    curves: Dict[Tuple[str, str], List[float]],
+    lambdas: Optional[Sequence[float]] = None,
+) -> str:
+    """Paper-style printout of one Figure-5 panel."""
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    series = {
+        "{}, {}".format(scheme, pattern): [
+            "{:.1f}".format(v) for v in values
+        ]
+        for (scheme, pattern), values in curves.items()
+    }
+    return format_series(
+        "lambda",
+        list(lams),
+        series,
+        title="Figure 5({}) capacity overhead %, E = {}".format(
+            "a" if degree == 3 else "b", degree
+        ),
+    )
+
+
+def chart_figure5(
+    degree: int,
+    curves: Dict[Tuple[str, str], List[float]],
+    lambdas: Optional[Sequence[float]] = None,
+) -> str:
+    """The same panel as an ASCII line chart."""
+    lams = tuple(lambdas if lambdas is not None else FIGURE_LAMBDAS[degree])
+    return ascii_chart(
+        list(lams),
+        {
+            "{}, {}".format(scheme, pattern): values
+            for (scheme, pattern), values in curves.items()
+        },
+        title="Figure 5({}): capacity overhead %% vs lambda, E = {}".format(
+            "a" if degree == 3 else "b", degree
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Link-state substrate: APLVs, Conflict Vectors, ledgers, databases."""
+
+from .aplv import APLV, APLVError
+from .conflict_vector import ConflictVector
+from .state import BW_EPSILON, LinkLedger, NetworkState, ResourceError
+from .database import LinkStateDatabase
+from .advertisement import (
+    AdvertisementCosts,
+    database_costs,
+    dlsr_record_bytes,
+    full_aplv_record_bytes,
+    plain_record_bytes,
+    plsr_record_bytes,
+)
+
+__all__ = [
+    "APLV",
+    "APLVError",
+    "ConflictVector",
+    "LinkLedger",
+    "NetworkState",
+    "ResourceError",
+    "BW_EPSILON",
+    "LinkStateDatabase",
+    "AdvertisementCosts",
+    "database_costs",
+    "plain_record_bytes",
+    "plsr_record_bytes",
+    "dlsr_record_bytes",
+    "full_aplv_record_bytes",
+]

@@ -1,0 +1,87 @@
+"""Link-state advertisement sizing.
+
+Section 3 motivates the two abridged APLV forms by cost: distributing
+full APLVs means "N APLVs, each with N integers"; P-LSR shrinks a
+link's record to one integer (the L1-norm), D-LSR to N bits (the
+Conflict Vector).  Section 4 motivates bounded flooding by noting that
+even "the extended link-state packet requires a larger packet size and
+introduces additional routing traffic".
+
+These helpers compute the advertised-record sizes in bytes so the
+routing-overhead analysis (:mod:`repro.analysis.messages`) can compare
+the three schemes and the strawman full-APLV design quantitatively.
+Sizes follow conventional OSPF-style encodings: 4-byte integers,
+4-byte bandwidth fields, bit-vectors padded to whole bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes per integer / bandwidth field in an advertisement record.
+WORD_BYTES = 4
+
+#: Fixed per-record header (link id + sequence/age), OSPF-LSA-like.
+RECORD_HEADER_BYTES = 8
+
+
+def plain_record_bytes() -> int:
+    """A vanilla QoS link-state record: header + available bandwidth."""
+    return RECORD_HEADER_BYTES + WORD_BYTES
+
+
+def plsr_record_bytes() -> int:
+    """P-LSR record: header + available bandwidth + ``||APLV||_1``."""
+    return plain_record_bytes() + WORD_BYTES
+
+
+def dlsr_record_bytes(num_links: int) -> int:
+    """D-LSR record: header + available bandwidth + N-bit CV."""
+    if num_links <= 0:
+        raise ValueError("num_links must be positive, got {}".format(num_links))
+    return plain_record_bytes() + math.ceil(num_links / 8)
+
+
+def full_aplv_record_bytes(num_links: int) -> int:
+    """The rejected strawman: header + bandwidth + N full integers."""
+    if num_links <= 0:
+        raise ValueError("num_links must be positive, got {}".format(num_links))
+    return plain_record_bytes() + num_links * WORD_BYTES
+
+
+@dataclass(frozen=True)
+class AdvertisementCosts:
+    """Network-wide link-state database / flooding sizes in bytes."""
+
+    plain: int
+    plsr: int
+    dlsr: int
+    full_aplv: int
+
+    @property
+    def plsr_over_plain(self) -> float:
+        return self.plsr / self.plain
+
+    @property
+    def dlsr_over_plain(self) -> float:
+        return self.dlsr / self.plain
+
+    @property
+    def full_over_plain(self) -> float:
+        return self.full_aplv / self.plain
+
+
+def database_costs(num_links: int) -> AdvertisementCosts:
+    """Total bytes to describe every link once, per scheme.
+
+    This is both the per-router database footprint and the payload of
+    one full link-state flood, so it is the right unit for comparing
+    routing-information overhead across schemes.
+    """
+    return AdvertisementCosts(
+        plain=num_links * plain_record_bytes(),
+        plsr=num_links * plsr_record_bytes(),
+        dlsr=num_links * dlsr_record_bytes(num_links),
+        full_aplv=num_links * full_aplv_record_bytes(num_links),
+    )

@@ -1,0 +1,96 @@
+"""Conflict Vector (CV) — D-LSR's abridged APLV.
+
+Section 3.2: "D-LSR uses a simple data structure, Conflict-Vector
+(CV), which shows only the location of backup conflicts.  The CV of
+link ``L_i`` ... is an N-element bit-vector, the j-th element of
+which, ``c_{i,j}``, is 1 if the j-th element of ``APLV_i``,
+``a_{i,j} > 0``; 0 otherwise."
+
+A CV is the *advertised* form: routers flood CVs in link-state
+updates while the full APLV stays local to the link's own
+DR-connection manager.  The class is immutable — each advertisement is
+a snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from .aplv import APLV, APLVError
+
+
+class ConflictVector:
+    """Immutable N-position bit vector of backup-conflict locations."""
+
+    __slots__ = ("_num_links", "_bits")
+
+    def __init__(self, num_links: int, set_positions: Iterable[int] = ()) -> None:
+        if num_links <= 0:
+            raise APLVError("num_links must be positive, got {}".format(num_links))
+        bits = frozenset(set_positions)
+        for position in bits:
+            if not 0 <= position < num_links:
+                raise APLVError(
+                    "bit position {} out of range [0, {})".format(position, num_links)
+                )
+        self._num_links = num_links
+        self._bits = bits
+
+    @classmethod
+    def from_aplv(cls, aplv: APLV) -> "ConflictVector":
+        """Project an APLV onto its support: ``c_{i,j} = [a_{i,j} > 0]``."""
+        return cls(aplv.num_links, aplv.support())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return self._num_links
+
+    @property
+    def bits(self) -> FrozenSet[int]:
+        return self._bits
+
+    def is_set(self, link_id: int) -> bool:
+        """``c_{i,j}`` for ``j = link_id``."""
+        if not 0 <= link_id < self._num_links:
+            raise APLVError(
+                "link id {} out of range [0, {})".format(link_id, self._num_links)
+            )
+        return link_id in self._bits
+
+    def __getitem__(self, link_id: int) -> int:
+        return 1 if self.is_set(link_id) else 0
+
+    def conflict_count(self, lset: Iterable[int]) -> int:
+        """D-LSR's link-cost term: how many links of a primary route's
+        ``LSET`` have their bit set here (Section 3.2's
+        ``sum_{L_j in LSET_P} c_{i,j}``)."""
+        return sum(1 for link_id in lset if link_id in self._bits)
+
+    def conflicts_with(self, lset: Iterable[int]) -> bool:
+        """True if choosing this link for a backup would create at
+        least one conflict with the given primary ``LSET``."""
+        return any(link_id in self._bits for link_id in lset)
+
+    def popcount(self) -> int:
+        return len(self._bits)
+
+    def to_dense(self) -> Tuple[int, ...]:
+        """Full N-element 0/1 tuple, matching the paper's notation."""
+        dense = [0] * self._num_links
+        for position in self._bits:
+            dense[position] = 1
+        return tuple(dense)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConflictVector):
+            return NotImplemented
+        return self._num_links == other._num_links and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._num_links, self._bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ConflictVector(set={})".format(sorted(self._bits))

@@ -1,0 +1,110 @@
+"""Link-state database views.
+
+Both LSR schemes extend the ordinary link-state database (Section 3):
+P-LSR stores, per link, ``||APLV||_1`` and the available bandwidth;
+D-LSR stores the Conflict Vector and the available bandwidth.  Every
+router floods its own links' records and keeps everyone else's.
+
+In this reproduction the simulator is logically centralized, so the
+database is an adapter over the authoritative :class:`NetworkState`.
+Two refresh modes are supported:
+
+* **live** (default) — reads always reflect the current state, i.e.
+  instantaneous link-state convergence, the assumption the paper's
+  evaluation makes;
+* **snapshot** — reads reflect the state at the last explicit
+  :meth:`LinkStateDatabase.refresh` call, which lets ablation
+  experiments quantify the cost of stale link-state information.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .conflict_vector import ConflictVector
+from .state import NetworkState, ResourceError
+
+
+class LinkStateDatabase:
+    """What a router knows about every link in the network."""
+
+    def __init__(self, state: NetworkState, live: bool = True) -> None:
+        self._state = state
+        self._live = live
+        self._snapshot_l1: List[int] = []
+        self._snapshot_cv: List[ConflictVector] = []
+        self._snapshot_primary_headroom: List[float] = []
+        self._snapshot_backup_headroom: List[float] = []
+        if not live:
+            self.refresh()
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    @property
+    def num_links(self) -> int:
+        return self._state.network.num_links
+
+    def refresh(self) -> None:
+        """Re-snapshot every link record (no-op effect in live mode)."""
+        ledgers = self._state.ledgers()
+        self._snapshot_l1 = [ledger.aplv.l1_norm for ledger in ledgers]
+        self._snapshot_cv = [
+            ConflictVector.from_aplv(ledger.aplv) for ledger in ledgers
+        ]
+        self._snapshot_primary_headroom = [
+            ledger.primary_headroom() for ledger in ledgers
+        ]
+        self._snapshot_backup_headroom = [
+            ledger.backup_headroom() for ledger in ledgers
+        ]
+
+    # ------------------------------------------------------------------
+    # Per-link records
+    # ------------------------------------------------------------------
+    def aplv_l1(self, link_id: int) -> int:
+        """P-LSR's advertised scalar ``||APLV_i||_1``."""
+        if self._live:
+            return self._state.ledger(link_id).aplv.l1_norm
+        return self._read_snapshot(self._snapshot_l1, link_id)
+
+    def conflict_vector(self, link_id: int) -> ConflictVector:
+        """D-LSR's advertised bit-vector ``CV_i``."""
+        if self._live:
+            return ConflictVector.from_aplv(self._state.ledger(link_id).aplv)
+        return self._read_snapshot(self._snapshot_cv, link_id)
+
+    def is_failed(self, link_id: int) -> bool:
+        """Link health is topology-change information, flooded
+        immediately in any link-state protocol — so both database
+        modes read it live."""
+        return self._state.is_link_failed(link_id)
+
+    def conflict_count(self, link_id: int, primary_lset) -> int:
+        """D-LSR's cost term: how many links of ``primary_lset`` have
+        their Conflict-Vector bit set on ``link_id``.  In live mode the
+        count is read straight off the authoritative APLV (identical
+        result, no bit-vector materialization)."""
+        if self._live:
+            return self._state.ledger(link_id).aplv.conflict_count(primary_lset)
+        return self.conflict_vector(link_id).conflict_count(primary_lset)
+
+    def primary_headroom(self, link_id: int) -> float:
+        """Bandwidth a new primary could reserve on the link."""
+        if self._live:
+            return self._state.ledger(link_id).primary_headroom()
+        return self._read_snapshot(self._snapshot_primary_headroom, link_id)
+
+    def backup_headroom(self, link_id: int) -> float:
+        """Bandwidth visible to a backup route search on the link."""
+        if self._live:
+            return self._state.ledger(link_id).backup_headroom()
+        return self._read_snapshot(self._snapshot_backup_headroom, link_id)
+
+    def _read_snapshot(self, table, link_id: int):
+        if not 0 <= link_id < self.num_links:
+            raise ResourceError("unknown link id {}".format(link_id))
+        if not table:
+            raise ResourceError("snapshot database never refreshed")
+        return table[link_id]

@@ -1,0 +1,323 @@
+"""Bandwidth ledgers — the authoritative resource state of every link.
+
+The paper assumes "a portion of network resources is set aside for
+DR-connections" (Section 2.2); each link's ledger tracks how that
+portion (``total_bw``, the link capacity here) is split between:
+
+* ``prime_bw`` — bandwidth exclusively reserved by primary channels;
+* ``spare_bw`` — bandwidth reserved for backup channels and shared by
+  all backups registered on the link (backup multiplexing);
+* free bandwidth — ``total_bw − prime_bw − spare_bw``, available to
+  new primaries, to spare growth, and to best-effort traffic.
+
+A ledger is mechanical: it enforces arithmetic invariants and keeps
+the link's APLV and backup registry consistent, but contains **no
+policy**.  Spare sizing policy (when to grow spare, what to do on
+shortage) lives in :mod:`repro.core.multiplexing`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List
+
+from ..topology.graph import Network
+from .aplv import APLV
+
+#: Tolerance for floating-point bandwidth comparisons.
+BW_EPSILON = 1e-9
+
+
+class ResourceError(RuntimeError):
+    """Raised when a reservation would violate a ledger invariant."""
+
+
+class LinkLedger:
+    """Resource accounting for one unidirectional link."""
+
+    __slots__ = (
+        "link_id",
+        "capacity",
+        "_prime_bw",
+        "_spare_bw",
+        "_aplv",
+        "_backups",
+        "_demand",
+    )
+
+    def __init__(self, link_id: int, capacity: float, num_links: int) -> None:
+        if capacity <= 0:
+            raise ResourceError("capacity must be positive, got {}".format(capacity))
+        self.link_id = link_id
+        self.capacity = capacity
+        self._prime_bw = 0.0
+        self._spare_bw = 0.0
+        self._aplv = APLV(num_links)
+        # connection id -> (primary LSET, backup bandwidth)
+        self._backups: Dict[int, tuple] = {}
+        # position j -> total bandwidth of backups here whose primary
+        # crosses L_j; the bandwidth-weighted APLV used to size spare.
+        self._demand: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def prime_bw(self) -> float:
+        return self._prime_bw
+
+    @property
+    def spare_bw(self) -> float:
+        return self._spare_bw
+
+    @property
+    def free_bw(self) -> float:
+        """Unallocated bandwidth: ``total_bw − prime_bw − spare_bw``."""
+        return self.capacity - self._prime_bw - self._spare_bw
+
+    @property
+    def aplv(self) -> APLV:
+        """The link's live APLV (mutated only through this ledger)."""
+        return self._aplv
+
+    @property
+    def backup_count(self) -> int:
+        return len(self._backups)
+
+    def backups(self) -> Dict[int, FrozenSet[int]]:
+        """Registered backups: connection id -> its *primary* LSET."""
+        return {cid: lset for cid, (lset, _bw) in self._backups.items()}
+
+    def backup_bw(self, connection_id: int) -> float:
+        """Bandwidth the given registered backup would claim on
+        activation."""
+        try:
+            return self._backups[connection_id][1]
+        except KeyError:
+            raise ResourceError(
+                "link {}: no backup registered for connection {}".format(
+                    self.link_id, connection_id
+                )
+            )
+
+    def has_backup(self, connection_id: int) -> bool:
+        return connection_id in self._backups
+
+    @property
+    def max_demand(self) -> float:
+        """Worst-case spare bandwidth any *single* link failure could
+        demand here: ``max_j Σ {bw of backups whose primary crosses
+        L_j}``.  With the paper's identical per-connection bandwidth
+        this equals ``max(APLV) · bw_req`` — the Section 5 sizing rule.
+        """
+        if not self._demand:
+            return 0.0
+        return max(self._demand.values())
+
+    @property
+    def total_backup_bw(self) -> float:
+        """Sum of all registered backups' bandwidths (what a dedicated,
+        non-multiplexed reservation would cost)."""
+        return sum(bw for _lset, bw in self._backups.values())
+
+    def primary_headroom(self) -> float:
+        """Bandwidth a new *primary* may claim (free bandwidth only —
+        primaries can never squat on reserved spare)."""
+        return self.free_bw
+
+    def backup_headroom(self) -> float:
+        """Bandwidth visible to a *backup* route search: unallocated
+        plus the spare already shared by backups (Section 3.1: "the sum
+        of the un-allocated bandwidth and the spare bandwidth shared by
+        the backup channels")."""
+        return self.free_bw + self._spare_bw
+
+    # ------------------------------------------------------------------
+    # Primary reservations
+    # ------------------------------------------------------------------
+    def reserve_primary(self, bw: float) -> None:
+        if bw <= 0:
+            raise ResourceError("primary reservation must be positive")
+        if bw > self.free_bw + BW_EPSILON:
+            raise ResourceError(
+                "link {}: primary needs {} but only {} free".format(
+                    self.link_id, bw, self.free_bw
+                )
+            )
+        self._prime_bw += bw
+
+    def release_primary(self, bw: float) -> None:
+        if bw <= 0:
+            raise ResourceError("primary release must be positive")
+        if bw > self._prime_bw + BW_EPSILON:
+            raise ResourceError(
+                "link {}: releasing {} primary bw but only {} reserved".format(
+                    self.link_id, bw, self._prime_bw
+                )
+            )
+        self._prime_bw = max(0.0, self._prime_bw - bw)
+
+    # ------------------------------------------------------------------
+    # Backup registration (APLV bookkeeping; spare sizing is policy)
+    # ------------------------------------------------------------------
+    def register_backup(
+        self, connection_id: int, primary_lset: Iterable[int], bw: float
+    ) -> None:
+        """Record a backup crossing this link, updating the APLV (and
+        the bandwidth-weighted demand map) from the piggybacked primary
+        ``LSET`` (Section 2.2)."""
+        if connection_id in self._backups:
+            raise ResourceError(
+                "link {}: backup for connection {} already registered".format(
+                    self.link_id, connection_id
+                )
+            )
+        if bw <= 0:
+            raise ResourceError("backup bandwidth must be positive")
+        lset = frozenset(primary_lset)
+        self._aplv.add_primary(lset)
+        for position in lset:
+            self._demand[position] = self._demand.get(position, 0.0) + bw
+        self._backups[connection_id] = (lset, bw)
+
+    def release_backup(self, connection_id: int) -> None:
+        """Remove a backup; decrements the APLV with the stored LSET."""
+        try:
+            lset, bw = self._backups.pop(connection_id)
+        except KeyError:
+            raise ResourceError(
+                "link {}: no backup registered for connection {}".format(
+                    self.link_id, connection_id
+                )
+            )
+        self._aplv.remove_primary(lset)
+        for position in lset:
+            remaining = self._demand[position] - bw
+            if remaining <= BW_EPSILON:
+                del self._demand[position]
+            else:
+                self._demand[position] = remaining
+
+    # ------------------------------------------------------------------
+    # Spare management (called by the multiplexing policy)
+    # ------------------------------------------------------------------
+    def set_spare(self, spare_bw: float) -> None:
+        """Resize the shared spare pool.  Growth is bounded by free
+        bandwidth; shrink never fails."""
+        if spare_bw < -BW_EPSILON:
+            raise ResourceError("spare bandwidth cannot be negative")
+        spare_bw = max(0.0, spare_bw)
+        if spare_bw > self._spare_bw:
+            growth = spare_bw - self._spare_bw
+            if growth > self.free_bw + BW_EPSILON:
+                raise ResourceError(
+                    "link {}: cannot grow spare by {} with {} free".format(
+                        self.link_id, growth, self.free_bw
+                    )
+                )
+        self._spare_bw = spare_bw
+
+    def spare_capacity_count(self, bw_per_connection: float) -> int:
+        """``SC_i``: how many backups the spare pool can activate at
+        once (Section 5: spare bandwidth divided by the per-connection
+        bandwidth, all DR-connections being identical)."""
+        if bw_per_connection <= 0:
+            raise ResourceError("bw_per_connection must be positive")
+        return int((self._spare_bw + BW_EPSILON) // bw_per_connection)
+
+    def check_invariants(self) -> None:
+        """Assert ledger arithmetic consistency (used by tests and the
+        simulator's self-check mode)."""
+        if self._prime_bw < -BW_EPSILON:
+            raise ResourceError("negative prime_bw on link {}".format(self.link_id))
+        if self._spare_bw < -BW_EPSILON:
+            raise ResourceError("negative spare_bw on link {}".format(self.link_id))
+        if self._prime_bw + self._spare_bw > self.capacity + BW_EPSILON:
+            raise ResourceError(
+                "link {} over-committed: prime {} + spare {} > capacity {}".format(
+                    self.link_id, self._prime_bw, self._spare_bw, self.capacity
+                )
+            )
+        if self._backups and self._aplv.is_zero():
+            raise ResourceError(
+                "link {} has backups but empty APLV".format(self.link_id)
+            )
+        if not self._backups and not self._aplv.is_zero():
+            raise ResourceError(
+                "link {} has APLV entries but no backups".format(self.link_id)
+            )
+        if set(self._demand) != set(self._aplv.support()):
+            raise ResourceError(
+                "link {}: demand map out of sync with APLV support".format(
+                    self.link_id
+                )
+            )
+
+
+class NetworkState:
+    """All link ledgers of a network plus whole-network views."""
+
+    def __init__(self, network: Network) -> None:
+        if not network.frozen:
+            raise ResourceError("NetworkState requires a frozen network")
+        self.network = network
+        self._ledgers: List[LinkLedger] = [
+            LinkLedger(link.link_id, link.capacity, network.num_links)
+            for link in network.links()
+        ]
+        self._failed_links: set = set()
+
+    # ------------------------------------------------------------------
+    # Link health (persistent failures, Section 1's fault model)
+    # ------------------------------------------------------------------
+    def mark_link_failed(self, link_id: int) -> None:
+        """Record a persistent link failure; routing and flooding skip
+        failed links until :meth:`mark_link_repaired`."""
+        self.ledger(link_id)  # bounds check
+        self._failed_links.add(link_id)
+
+    def mark_link_repaired(self, link_id: int) -> None:
+        self.ledger(link_id)
+        self._failed_links.discard(link_id)
+
+    def is_link_failed(self, link_id: int) -> bool:
+        return link_id in self._failed_links
+
+    def failed_links(self) -> frozenset:
+        return frozenset(self._failed_links)
+
+    def ledger(self, link_id: int) -> LinkLedger:
+        try:
+            return self._ledgers[link_id]
+        except IndexError:
+            raise ResourceError("unknown link id {}".format(link_id))
+
+    def ledgers(self) -> List[LinkLedger]:
+        return list(self._ledgers)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_capacity(self) -> float:
+        return sum(ledger.capacity for ledger in self._ledgers)
+
+    def total_prime_bw(self) -> float:
+        return sum(ledger.prime_bw for ledger in self._ledgers)
+
+    def total_spare_bw(self) -> float:
+        return sum(ledger.spare_bw for ledger in self._ledgers)
+
+    def utilization(self) -> float:
+        """Fraction of network capacity committed (primary + spare)."""
+        capacity = self.total_capacity()
+        if capacity <= 0:
+            return 0.0
+        return (self.total_prime_bw() + self.total_spare_bw()) / capacity
+
+    def check_invariants(self) -> None:
+        for ledger in self._ledgers:
+            ledger.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NetworkState(links={}, util={:.1%})".format(
+            len(self._ledgers), self.utilization()
+        )

@@ -1,0 +1,66 @@
+"""Routing schemes: P-LSR, D-LSR, bounded flooding, and baselines."""
+
+from .base import RoutePlan, RouteQuery, RoutingContext, RoutingScheme
+from .costs import (
+    Q_PENALTY,
+    disjoint_backup_cost,
+    dlsr_backup_cost,
+    plsr_backup_cost,
+    primary_link_cost,
+)
+from .dijkstra import hop_cost, min_hop_path, path_cost, shortest_path
+from .bellman_ford import bellman_ford_vectors, next_hop_table
+from .link_state import LinkStateScheme
+from .plsr import PLSRScheme
+from .dlsr import DLSRScheme
+from .flooding import (
+    BFParameters,
+    BoundedFloodingScheme,
+    CDP,
+    CRTEntry,
+    FloodingError,
+    FloodResult,
+    PendingEntry,
+)
+from .baselines import DisjointBackupScheme, NoBackupScheme, RandomBackupScheme
+from .reactive import (
+    NO_RESTORATION_PATH,
+    REROUTED,
+    ReactiveScheme,
+    assess_reactive_recovery,
+)
+
+__all__ = [
+    "RoutingScheme",
+    "RoutingContext",
+    "RouteQuery",
+    "RoutePlan",
+    "Q_PENALTY",
+    "primary_link_cost",
+    "plsr_backup_cost",
+    "dlsr_backup_cost",
+    "disjoint_backup_cost",
+    "shortest_path",
+    "min_hop_path",
+    "path_cost",
+    "hop_cost",
+    "bellman_ford_vectors",
+    "next_hop_table",
+    "LinkStateScheme",
+    "PLSRScheme",
+    "DLSRScheme",
+    "BoundedFloodingScheme",
+    "BFParameters",
+    "CDP",
+    "CRTEntry",
+    "PendingEntry",
+    "FloodResult",
+    "FloodingError",
+    "NoBackupScheme",
+    "DisjointBackupScheme",
+    "RandomBackupScheme",
+    "ReactiveScheme",
+    "assess_reactive_recovery",
+    "REROUTED",
+    "NO_RESTORATION_PATH",
+]

@@ -1,0 +1,77 @@
+"""Bellman–Ford distance-vector computation.
+
+Section 4.1 notes the distance tables needed by bounded flooding "can
+be calculated using the Dijkstra's algorithm or the Bellman-Ford
+distance-vector algorithm".  :mod:`repro.topology.distance` builds
+them centrally with BFS; this module provides the *distributed*
+distance-vector formulation — synchronous rounds in which every node
+exchanges its current vector with its neighbors — so that the test
+suite can assert the two agree and so that topology-change dynamics
+can be studied (each round models one message exchange).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology.graph import Network
+from ..topology.distance import UNREACHABLE
+
+
+def bellman_ford_vectors(
+    network: Network, max_rounds: int = 0
+) -> Tuple[List[List[float]], int]:
+    """Run synchronous distance-vector rounds to a fixed point.
+
+    Returns ``(vectors, rounds)`` where ``vectors[i][j]`` is the
+    minimum hop count from node ``i`` to node ``j`` and ``rounds`` is
+    the number of exchange rounds needed to converge (at most the
+    network diameter).  ``max_rounds = 0`` means "no limit" (it always
+    converges within ``num_nodes`` rounds on a static topology).
+    """
+    n = network.num_nodes
+    vectors: List[List[float]] = [
+        [0.0 if i == j else UNREACHABLE for j in range(n)] for i in range(n)
+    ]
+    limit = max_rounds if max_rounds > 0 else n
+    rounds = 0
+    for _ in range(limit):
+        changed = False
+        # Synchronous update: every node reads its neighbors' vectors
+        # from the previous round.
+        previous = [list(row) for row in vectors]
+        for i in range(n):
+            for link in network.out_links(i):
+                k = link.dst
+                for j in range(n):
+                    candidate = previous[k][j] + 1
+                    if candidate < vectors[i][j]:
+                        vectors[i][j] = candidate
+                        changed = True
+        rounds += 1
+        if not changed:
+            break
+    return vectors, rounds
+
+
+def next_hop_table(network: Network, node: int) -> Dict[int, int]:
+    """Distance-vector next hops: destination -> neighbor choice.
+
+    Deterministic: among equal-cost neighbors the lowest node id wins.
+    Used by the reactive-recovery baseline for hop-by-hop re-routing.
+    """
+    vectors, _ = bellman_ford_vectors(network)
+    table: Dict[int, int] = {}
+    for destination in network.nodes():
+        if destination == node:
+            continue
+        best = None
+        for link in sorted(network.out_links(node), key=lambda l: l.dst):
+            via = vectors[link.dst][destination]
+            if via == UNREACHABLE:
+                continue
+            if best is None or via + 1 < best[0]:
+                best = (via + 1, link.dst)
+        if best is not None:
+            table[destination] = best[1]
+    return table

@@ -1,0 +1,152 @@
+"""Link-cost functions implementing the paper's Eq. 4 and Section 3.2.
+
+Both LSR backup costs have the shape ``C_i = Q + conflict_term + eps``:
+
+* ``Q`` is "a very large constant" charged when the new connection's
+  primary traverses ``L_i`` or when the link lacks the bandwidth the
+  QoS requires.  It is *additive*, not an exclusion: when no clean
+  path exists Dijkstra still returns the least-bad route (e.g. a
+  backup that unavoidably shares one link with its primary), exactly
+  as the paper's formulation allows.
+* the conflict term is ``||APLV_i||_1`` for P-LSR and
+  ``sum_{L_j in LSET_P} c_{i,j}`` for D-LSR;
+* ``eps`` breaks ties toward the shortest route.  We realize it as a
+  second lexicographic cost component of 1 per hop (see
+  :mod:`repro.routing.dijkstra`), which orders paths identically to
+  any ``0 < eps < 1`` without floating-point hazards.
+
+Costs are closures over the link-state database and the connection
+being routed, matching how a router would evaluate them from its own
+database copy.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..network.database import LinkStateDatabase
+from ..network.state import BW_EPSILON
+from ..topology.graph import Link
+from .dijkstra import LinkCost
+
+#: The paper's ``Q``: must dominate any achievable conflict cost
+#: (``max(APLV)`` is bounded by active connections, far below this).
+Q_PENALTY = 1.0e6
+
+
+def primary_link_cost(database: LinkStateDatabase, bw_req: float) -> LinkCost:
+    """Minimum-hop primary routing over bandwidth-feasible links.
+
+    Primaries get *hard* feasibility (a primary without bandwidth is
+    useless), matching the CDP ``primary_flag`` semantics: the link
+    must have ``total_bw − prime_bw − spare_bw ≥ bw_req``.
+    """
+
+    def cost(link: Link) -> Optional[Tuple[float, ...]]:
+        if database.is_failed(link.link_id):
+            return None
+        if database.primary_headroom(link.link_id) + BW_EPSILON < bw_req:
+            return None
+        return (1.0,)
+
+    return cost
+
+
+def _q_penalty(
+    database: LinkStateDatabase,
+    link: Link,
+    bw_req: float,
+    primary_lset: FrozenSet[int],
+) -> float:
+    """Eq. 4's ``Q`` term for one link (0 when neither condition holds)."""
+    if link.link_id in primary_lset:
+        return Q_PENALTY
+    if database.backup_headroom(link.link_id) + BW_EPSILON < bw_req:
+        return Q_PENALTY
+    return 0.0
+
+
+def plsr_backup_cost(
+    database: LinkStateDatabase,
+    bw_req: float,
+    primary_lset: Iterable[int],
+    avoid_lset: Optional[Iterable[int]] = None,
+) -> LinkCost:
+    """P-LSR backup cost: ``(Q + ||APLV_i||_1, 1 hop)`` per link.
+
+    ``avoid_lset`` extends the ``Q``-charged set beyond the primary —
+    used when planning second and further backups, which should also
+    stay off the already-chosen backup routes.
+    """
+    lset = frozenset(primary_lset)
+    avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
+
+    def cost(link: Link) -> Optional[Tuple[float, ...]]:
+        if database.is_failed(link.link_id):
+            return None
+        q = _q_penalty(database, link, bw_req, avoid)
+        return (q + database.aplv_l1(link.link_id), 1.0)
+
+    return cost
+
+
+def dlsr_backup_cost(
+    database: LinkStateDatabase,
+    bw_req: float,
+    primary_lset: Iterable[int],
+    avoid_lset: Optional[Iterable[int]] = None,
+) -> LinkCost:
+    """D-LSR backup cost: ``(Q + Σ_{L_j∈LSET_P} c_{i,j}, 1 hop)``."""
+    lset = frozenset(primary_lset)
+    avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
+
+    def cost(link: Link) -> Optional[Tuple[float, ...]]:
+        if database.is_failed(link.link_id):
+            return None
+        q = _q_penalty(database, link, bw_req, avoid)
+        return (q + database.conflict_count(link.link_id, lset), 1.0)
+
+    return cost
+
+
+def disjoint_backup_cost(
+    database: LinkStateDatabase,
+    bw_req: float,
+    primary_lset: Iterable[int],
+    avoid_lset: Optional[Iterable[int]] = None,
+) -> LinkCost:
+    """Conflict-blind baseline: shortest backup avoiding the primary.
+
+    Charges ``Q`` for primary overlap and bandwidth shortage but knows
+    nothing about other connections' backups — this isolates how much
+    of the schemes' fault tolerance comes from conflict awareness as
+    opposed to mere primary-disjointness.
+    """
+    lset = frozenset(primary_lset)
+    avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
+
+    def cost(link: Link) -> Optional[Tuple[float, ...]]:
+        if database.is_failed(link.link_id):
+            return None
+        return (_q_penalty(database, link, bw_req, avoid), 1.0)
+
+    return cost
+
+
+def route_has_q_violation(
+    database: LinkStateDatabase,
+    bw_req: float,
+    primary_lset: Iterable[int],
+    backup_link_ids: Iterable[int],
+    network,
+) -> bool:
+    """True when a chosen backup crosses any ``Q``-charged link, i.e.
+    Dijkstra could not avoid a primary overlap or a bandwidth-short
+    link.  Admission uses this to decide whether the backup is
+    acceptable-but-degraded (primary overlap) or unusable (no
+    bandwidth)."""
+    lset = frozenset(primary_lset)
+    return any(
+        _q_penalty(database, network.link(link_id), bw_req, lset) > 0
+        for link_id in backup_link_ids
+    )

@@ -1,0 +1,395 @@
+"""BF: routing with bounded flooding (Section 4).
+
+Instead of maintaining extended link-state databases, BF discovers
+routes on demand: the source floods a *channel-discovery packet* (CDP)
+toward the destination, every node forwards copies only while four
+tests pass, and the destination picks the primary and backup from the
+candidate routes that survived.
+
+The tests (Sections 4.2–4.3), for node ``i`` forwarding CDP ``m`` to
+neighbor ``k``:
+
+* **distance**:  ``hc_curr(m) + D_{dest,k} + 1 ≤ hc_limit(m)`` — the
+  CDP can still reach the destination within the flood bound
+  ``hc_limit = ρ·D + p`` (an ellipse-like region with the endpoints
+  as loci);
+* **loop-freedom**:  ``k ∉ list(m)``;
+* **bandwidth**:  ``bw_req(m) ≤ total_bw(i,k) − prime_bw(i,k)`` — the
+  link could carry the connection at least as a (spare-sharing)
+  backup;
+* **valid-detour** (only when ``i`` has seen this connection before):
+  ``hc_curr(m) ≤ α·min_dist + β`` where ``min_dist`` is the shortest
+  hop count any copy took to reach ``i``.
+
+The flood is simulated synchronously with a FIFO delivery queue —
+equivalent to uniform link delays — and every CDP transmission is
+counted, feeding the discovery-overhead comparison of Section 6.
+
+Destination selection (Section 4.4): primary = shortest candidate
+with ``primary_flag = 1``; backup = among the remaining candidates,
+the one that minimally overlaps the primary, shortest first among
+equals (the paper's "shortest one that minimally overlaps").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..network.state import BW_EPSILON
+from ..topology.distance import UNREACHABLE
+from ..topology.graph import Route
+from .base import RoutePlan, RouteQuery, RoutingScheme
+
+
+class FloodingError(RuntimeError):
+    """Raised when a flood exceeds the runaway-safety cap."""
+
+
+@dataclass(frozen=True)
+class BFParameters:
+    """The four bounded-flooding knobs.
+
+    ``hc_limit = floor(rho * D) + p`` bounds the flooded region
+    (Section 4.1 requires ``rho ≥ 1``, ``p ≥ 0``); ``alpha`` and
+    ``beta`` parameterize the valid-detour test (Section 4.3).  The
+    evaluation uses ``rho = alpha = 1, p = beta = 2`` — "increasing
+    the flooding area beyond this barely improves the performance".
+    """
+
+    rho: float = 1.0
+    p: int = 2
+    alpha: float = 1.0
+    beta: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rho < 1.0:
+            raise ValueError("rho must be >= 1, got {}".format(self.rho))
+        if self.p < 0:
+            raise ValueError("p must be >= 0, got {}".format(self.p))
+        if self.alpha < 1.0:
+            raise ValueError("alpha must be >= 1, got {}".format(self.alpha))
+        if self.beta < 0:
+            raise ValueError("beta must be >= 0, got {}".format(self.beta))
+
+    def hop_limit(self, min_distance: float) -> int:
+        return int(math.floor(self.rho * min_distance)) + self.p
+
+
+@dataclass(frozen=True)
+class CDP:
+    """Channel-discovery packet (Section 4.1 field list)."""
+
+    srce_id: int
+    dest_id: int
+    conn_id: int
+    hc_limit: int
+    hc_curr: int
+    bw_req: float
+    primary_flag: bool
+    path: Tuple[int, ...]  # the paper's ``list``: nodes traversed so far
+
+
+@dataclass
+class PendingEntry:
+    """One Pending Connection Table (PCT) row (Section 4.1)."""
+
+    conn_id: int
+    bw_req: float
+    min_dist: int
+    time_out: float
+
+
+@dataclass
+class CRTEntry:
+    """One Candidate Route Table row: a route that reached the
+    destination, with the flag saying whether it can host the primary."""
+
+    primary_flag: bool
+    hop_count: int
+    route: Route
+
+
+@dataclass
+class FloodResult:
+    """Everything a flood produced, for selection and accounting."""
+
+    candidates: List[CRTEntry] = field(default_factory=list)
+    cdp_transmissions: int = 0
+    nodes_reached: int = 0
+
+
+class BoundedFloodingScheme(RoutingScheme):
+    """On-demand primary+backup discovery via bounded flooding."""
+
+    name = "BF"
+
+    #: Runaway guard: no sane flood on the paper's topologies comes
+    #: near this many deliveries.
+    max_deliveries = 500_000
+
+    def __init__(self, parameters: Optional[BFParameters] = None,
+                 average_link_delay: float = 0.01,
+                 num_backups: int = 1) -> None:
+        super().__init__()
+        if num_backups < 1:
+            raise ValueError(
+                "num_backups must be >= 1, got {}".format(num_backups)
+            )
+        self.parameters = parameters or BFParameters()
+        #: Used only to populate PCT/CRT timeout fields per Section 4.1
+        #: ("no less than the average link delay times the hop limit").
+        self.average_link_delay = average_link_delay
+        #: Backup channels to pick from the CRT (Section 2's "one or
+        #: more"); 1 matches the paper's evaluation.
+        self.num_backups = num_backups
+
+    # ------------------------------------------------------------------
+    # Flooding
+    # ------------------------------------------------------------------
+    def flood(self, query: RouteQuery, conn_id: int = 0) -> FloodResult:
+        """Run one CDP flood and collect the destination's CRT."""
+        ctx = self.context
+        network = ctx.network
+        database = ctx.database
+        tables = ctx.distance_tables
+        result = FloodResult()
+
+        min_distance = tables[query.source].distance(query.destination)
+        if min_distance == UNREACHABLE:
+            return result
+        hc_limit = self.parameters.hop_limit(min_distance)
+        if query.max_hops is not None:
+            # The delay-QoS bound tightens the flood region: no route
+            # longer than max_hops is usable, so none is discovered.
+            hc_limit = min(hc_limit, query.max_hops)
+        timeout = self.average_link_delay * hc_limit
+
+        pct: Dict[int, PendingEntry] = {}
+        seed = CDP(
+            srce_id=query.source,
+            dest_id=query.destination,
+            conn_id=conn_id,
+            hc_limit=hc_limit,
+            hc_curr=0,
+            bw_req=query.bw_req,
+            primary_flag=True,
+            path=(),
+        )
+        queue: deque = deque()
+        # Section 4.2: the source applies the distance and bandwidth
+        # tests per neighbor, then updates and forwards.
+        self._forward_from(query.source, seed, queue, result)
+
+        reached = {query.source}
+        deliveries = 0
+        while queue:
+            node, packet = queue.popleft()
+            deliveries += 1
+            if deliveries > self.max_deliveries:
+                raise FloodingError(
+                    "flood for {}->{} exceeded {} deliveries".format(
+                        query.source, query.destination, self.max_deliveries
+                    )
+                )
+            reached.add(node)
+            if node == query.destination:
+                route_nodes = packet.path + (node,)
+                result.candidates.append(
+                    CRTEntry(
+                        primary_flag=packet.primary_flag,
+                        hop_count=packet.hc_curr,
+                        route=Route.from_nodes(network, route_nodes),
+                    )
+                )
+                continue
+            entry = self._pct_for(pct, node, packet, timeout)
+            if entry is None:
+                continue  # failed the valid-detour test
+            self._forward_from(node, packet, queue, result)
+
+        result.nodes_reached = len(reached)
+        return result
+
+    def _pct_for(
+        self,
+        pct: Dict[int, PendingEntry],
+        node: int,
+        packet: CDP,
+        timeout: float,
+    ) -> Optional[PendingEntry]:
+        """Apply the valid-detour test and maintain the node's PCT.
+
+        The PCT dict is keyed by ``(node, conn_id)`` conceptually; the
+        flood handles a single connection, so the node id suffices.
+        Returns ``None`` when the packet must be dropped.
+        """
+        key = node
+        entry = pct.get(key)
+        if entry is None:
+            pct[key] = PendingEntry(
+                conn_id=packet.conn_id,
+                bw_req=packet.bw_req,
+                min_dist=packet.hc_curr,
+                time_out=timeout,
+            )
+            return pct[key]
+        # Section 4.3: an additional test on packets seen again.
+        limit = self.parameters.alpha * entry.min_dist + self.parameters.beta
+        if packet.hc_curr > limit:
+            return None
+        if packet.hc_curr < entry.min_dist:
+            entry.min_dist = packet.hc_curr
+        return entry
+
+    def _forward_from(
+        self,
+        node: int,
+        packet: CDP,
+        queue: deque,
+        result: FloodResult,
+    ) -> None:
+        """Apply per-neighbor tests; enqueue updated copies."""
+        ctx = self.context
+        network = ctx.network
+        database = ctx.database
+        table = ctx.distance_tables[node]
+        for link in network.out_links(node):
+            neighbor = link.dst
+            # Failed links carry nothing (topology-change information
+            # propagates immediately in the fault model).
+            if database.is_failed(link.link_id):
+                continue
+            # Loop-freedom test (trivially passes at the source).
+            if neighbor in packet.path:
+                continue
+            # Distance test: can the CDP still make it in time?
+            remaining = table.via(packet.dest_id, neighbor)
+            if remaining == UNREACHABLE:
+                continue
+            if packet.hc_curr + remaining + 1 > packet.hc_limit:
+                continue
+            # Bandwidth test: usable at least as a spare-sharing backup.
+            if database.backup_headroom(link.link_id) + BW_EPSILON < packet.bw_req:
+                continue
+            # Update: recalculate primary_flag, bump hc_curr, append i.
+            flag = packet.primary_flag and (
+                database.primary_headroom(link.link_id) + BW_EPSILON
+                >= packet.bw_req
+            )
+            forwarded = replace(
+                packet,
+                primary_flag=flag,
+                hc_curr=packet.hc_curr + 1,
+                path=packet.path + (node,),
+            )
+            result.cdp_transmissions += 1
+            queue.append((neighbor, forwarded))
+
+    # ------------------------------------------------------------------
+    # Destination selection (Section 4.4)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def select_routes(
+        candidates: List[CRTEntry],
+    ) -> Tuple[Optional[Route], Optional[Route]]:
+        """Pick (primary, backup) from a CRT.
+
+        Primary: shortest candidate with ``primary_flag = 1`` (first
+        arrival among equals).  Backup: among all remaining candidates,
+        minimize ``(overlap with primary, hop count, arrival order)``.
+        """
+        primary_entry = None
+        primary_index = -1
+        for index, entry in enumerate(candidates):
+            if not entry.primary_flag:
+                continue
+            if primary_entry is None or entry.hop_count < primary_entry.hop_count:
+                primary_entry = entry
+                primary_index = index
+        if primary_entry is None:
+            return None, None
+        best_backup = None
+        best_key = None
+        for index, entry in enumerate(candidates):
+            if index == primary_index:
+                continue
+            overlap = len(entry.route.shared_links(primary_entry.route))
+            key = (overlap, entry.hop_count, index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_backup = entry
+        backup = best_backup.route if best_backup is not None else None
+        return primary_entry.route, backup
+
+    @staticmethod
+    def select_routes_multi(
+        candidates: List[CRTEntry], num_backups: int
+    ) -> Tuple[Optional[Route], List[Route]]:
+        """Pick the primary plus up to ``num_backups`` backups.
+
+        Backups are chosen greedily: each next backup minimizes
+        ``(overlap with primary and already-chosen backups, hop count,
+        arrival order)`` among the remaining candidates, so a second
+        backup prefers routes disjoint from both the primary and the
+        first backup.
+        """
+        primary, first = BoundedFloodingScheme.select_routes(candidates)
+        if primary is None or first is None:
+            return primary, []
+        backups = [first]
+        taken = {primary.lset, first.lset}
+        avoid = set(primary.lset) | set(first.lset)
+        while len(backups) < num_backups:
+            best = None
+            best_key = None
+            for index, entry in enumerate(candidates):
+                if entry.route.lset in taken:
+                    continue
+                overlap = len(entry.route.lset & avoid)
+                key = (overlap, entry.hop_count, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = entry.route
+            if best is None:
+                break
+            backups.append(best)
+            taken.add(best.lset)
+            avoid.update(best.lset)
+        return primary, backups
+
+    def plan_backup(self, query: RouteQuery, primary: Route):
+        """Re-flood and pick the candidate that minimally overlaps the
+        *established* primary (reconfiguration path)."""
+        result = self.flood(query)
+        best = None
+        best_key = None
+        for index, entry in enumerate(result.candidates):
+            if entry.route.lset == primary.lset:
+                continue  # the primary itself is not a backup
+            overlap = len(entry.route.shared_links(primary))
+            key = (overlap, entry.hop_count, index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = entry.route
+        return best
+
+    def plan(self, query: RouteQuery) -> RoutePlan:
+        result = self.flood(query)
+        primary, backups = self.select_routes_multi(
+            result.candidates, self.num_backups
+        )
+        plan = RoutePlan(
+            primary=primary,
+            backup=backups[0] if backups else None,
+            extra_backups=tuple(backups[1:]),
+            control_messages=result.cdp_transmissions,
+            candidates_considered=len(result.candidates),
+        )
+        if primary is None:
+            plan.note = "no candidate route with primary_flag=1"
+        elif not backups:
+            plan.note = "CRT held no second candidate for the backup"
+        return plan

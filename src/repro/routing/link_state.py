@@ -1,0 +1,108 @@
+"""Shared machinery of the link-state routing schemes.
+
+P-LSR and D-LSR differ *only* in the conflict term of their backup
+link cost (Sections 3.1 vs. 3.2); everything else — min-hop primary
+selection, Q/epsilon handling, and the extension to multiple backups —
+is common and lives here.
+
+Multi-backup planning (Section 2 allows "one or more backup
+channels"): the k-th backup is planned with the ``Q`` penalty extended
+to the links of the primary *and* of every already-chosen backup, so
+the channels of one DR-connection spread across disjoint routes when
+the topology allows.  Planning stops early when the next search can
+only return a route identical to one already chosen.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, List, Optional
+
+from ..topology.graph import Route
+from .base import RoutePlan, RouteQuery, RoutingScheme
+from .costs import primary_link_cost
+from .dijkstra import LinkCost, bounded_shortest_path, shortest_path
+
+
+def _search(network, query: RouteQuery, cost: LinkCost):
+    """Dispatch to the QoS-bounded search when the query carries a
+    delay bound."""
+    if query.max_hops is None:
+        return shortest_path(network, query.source, query.destination, cost)
+    return bounded_shortest_path(
+        network, query.source, query.destination, cost, query.max_hops
+    )
+
+
+class LinkStateScheme(RoutingScheme):
+    """Base for schemes that route from the link-state database."""
+
+    def __init__(self, num_backups: int = 1) -> None:
+        super().__init__()
+        if num_backups < 1:
+            raise ValueError(
+                "num_backups must be >= 1, got {}".format(num_backups)
+            )
+        self.num_backups = num_backups
+
+    @abc.abstractmethod
+    def backup_cost(
+        self,
+        bw_req: float,
+        primary_lset: FrozenSet[int],
+        avoid_lset: FrozenSet[int],
+    ) -> LinkCost:
+        """The scheme-specific backup link cost (Eq. 4 / Section 3.2).
+
+        ``primary_lset`` feeds the conflict term; ``avoid_lset`` (a
+        superset including earlier backups) feeds the ``Q`` penalty.
+        """
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: RouteQuery) -> RoutePlan:
+        ctx = self.context
+        primary = _search(
+            ctx.network, query, primary_link_cost(ctx.database, query.bw_req)
+        )
+        if primary is None:
+            return RoutePlan(note="no bandwidth-feasible primary within QoS")
+        backups = self._plan_backups(query, primary)
+        if not backups:
+            return RoutePlan(primary=primary, note="no backup route")
+        return RoutePlan(
+            primary=primary,
+            backup=backups[0],
+            extra_backups=tuple(backups[1:]),
+        )
+
+    def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:
+        """Single-backup search against an established primary (the
+        reconfiguration entry point)."""
+        ctx = self.context
+        return _search(
+            ctx.network,
+            query,
+            self.backup_cost(query.bw_req, primary.lset, primary.lset),
+        )
+
+    def _plan_backups(self, query: RouteQuery, primary: Route) -> List[Route]:
+        ctx = self.context
+        backups: List[Route] = []
+        avoid = set(primary.lset)
+        seen = {primary.lset}
+        for _ in range(self.num_backups):
+            route = _search(
+                ctx.network,
+                query,
+                self.backup_cost(
+                    query.bw_req, primary.lset, frozenset(avoid)
+                ),
+            )
+            if route is None or route.lset in seen:
+                break
+            backups.append(route)
+            seen.add(route.lset)
+            avoid.update(route.lset)
+        return backups

@@ -1,0 +1,66 @@
+"""Arrival and holding-time processes.
+
+Section 6.1: "we assume that DR-connection requests arrive as a
+Poisson process with rate lambda ... each connection requires a
+constant bandwidth (bw_req) and has a uniformly-distributed lifetime,
+t_req, between 20 and 60 minutes."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class HoldingTimeDistribution:
+    """Uniform connection lifetime in seconds (paper: 20–60 min)."""
+
+    minimum: float = 20.0 * 60.0
+    maximum: float = 60.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0 or self.maximum < self.minimum:
+            raise ValueError(
+                "invalid holding-time range [{}, {}]".format(
+                    self.minimum, self.maximum
+                )
+            )
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.minimum + self.maximum)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.minimum, self.maximum)
+
+
+class PoissonArrivalProcess:
+    """Exponential inter-arrival times with rate ``lam`` (per second)."""
+
+    def __init__(self, lam: float, rng: random.Random) -> None:
+        if lam <= 0:
+            raise ValueError("arrival rate must be positive, got {}".format(lam))
+        self.lam = lam
+        self._rng = rng
+
+    def next_interarrival(self) -> float:
+        return self._rng.expovariate(self.lam)
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        """Yield arrival instants in ``(0, until]``."""
+        if until <= 0:
+            raise ValueError("horizon must be positive, got {}".format(until))
+        now = 0.0
+        while True:
+            now += self.next_interarrival()
+            if now > until:
+                return
+            yield now
+
+    def expected_offered_load(self, mean_holding: float) -> float:
+        """Little's-law mean number of concurrent connections if none
+        were blocked: ``lambda x mean holding time``.  Used to sanity-
+        check saturation calibration."""
+        return self.lam * mean_holding

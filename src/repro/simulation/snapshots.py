@@ -1,0 +1,36 @@
+"""Steady-state snapshot scheduling.
+
+Connection lifetimes average 40 minutes, so the connection population
+needs a warm-up of a few lifetimes before it reaches the stationary
+regime the paper measures in.  Metrics are then sampled at several
+evenly-spaced instants and averaged, which both reduces variance and
+captures the population's churn.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def snapshot_times(
+    duration: float, warmup: float, count: int
+) -> List[float]:
+    """``count`` instants evenly spaced over ``[warmup, duration]``.
+
+    The first snapshot lands at ``warmup`` plus one spacing step (the
+    instant ``warmup`` itself is still transient-adjacent), the last at
+    ``duration``.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0 <= warmup < duration:
+        raise ValueError(
+            "warmup must lie in [0, duration), got {} for duration {}".format(
+                warmup, duration
+            )
+        )
+    if count < 1:
+        raise ValueError("need at least one snapshot")
+    span = duration - warmup
+    step = span / count
+    return [warmup + step * (index + 1) for index in range(count)]

@@ -1,0 +1,164 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped, typed events from a service as
+a simulation runs — admissions, rejections, releases, failures,
+activations — for debugging, auditing and post-hoc analysis (e.g.
+"which failure killed connection 814 and why").  Events serialize to
+JSON-lines so long runs can stream to disk.
+
+The service emits through :class:`TracingService`, a thin decorator
+that wraps any :class:`~repro.core.service.DRTPService`; the core
+stays trace-free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..core.service import DRTPService
+
+#: Event kind identifiers.
+ADMITTED = "admitted"
+REJECTED = "rejected"
+RELEASED = "released"
+LINK_FAILED = "link-failed"
+LINK_REPAIRED = "link-repaired"
+RECOVERY = "recovery"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence."""
+
+    time: float
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"time": self.time, "kind": self.kind}
+        payload.update(self.details)
+        return json.dumps(payload, sort_keys=True)
+
+
+class Tracer:
+    """An in-memory, optionally-filtered event collector."""
+
+    def __init__(self, kinds: Optional[List[str]] = None) -> None:
+        self._kinds = set(kinds) if kinds is not None else None
+        self._events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **details: Any) -> None:
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._events.append(TraceEvent(time=time, kind=kind, details=details))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for event in self._events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            "".join(event.to_json() + "\n" for event in self._events)
+        )
+
+    @staticmethod
+    def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+        events = []
+        for line in Path(path).read_text().splitlines():
+            payload = json.loads(line)
+            time = payload.pop("time")
+            kind = payload.pop("kind")
+            events.append(TraceEvent(time=time, kind=kind, details=payload))
+        return events
+
+
+class TracingService:
+    """Decorator adding tracing to a DRTP service.
+
+    Exposes the same lifecycle surface the simulator drives (``admit``,
+    ``release``, ``fail_link``, ``repair_link``) plus attribute
+    pass-through for everything else, so it can stand in for a bare
+    service anywhere.
+    """
+
+    def __init__(self, service: DRTPService, tracer: Tracer) -> None:
+        self._service = service
+        self.tracer = tracer
+        self._clock = 0.0
+
+    def at(self, time: float) -> "TracingService":
+        """Set the timestamp attached to subsequent events."""
+        self._clock = time
+        return self
+
+    # -- traced operations ------------------------------------------------
+    def admit(self, request):
+        decision = self._service.admit(request)
+        if decision.accepted:
+            conn = decision.connection
+            self.tracer.record(
+                self._clock,
+                ADMITTED,
+                connection=conn.connection_id,
+                source=conn.source,
+                destination=conn.destination,
+                primary_hops=conn.primary_route.hop_count,
+                backups=conn.backup_count,
+            )
+        else:
+            self.tracer.record(
+                self._clock,
+                REJECTED,
+                request=request.request_id,
+                reason=decision.reason,
+            )
+        return decision
+
+    def release(self, connection_id: int) -> None:
+        self._service.release(connection_id)
+        self.tracer.record(self._clock, RELEASED, connection=connection_id)
+
+    def fail_link(self, link_id: int, reconfigure: bool = True):
+        impact = self._service.fail_link(link_id, reconfigure=reconfigure)
+        self.tracer.record(
+            self._clock,
+            LINK_FAILED,
+            link=link_id,
+            affected=impact.affected,
+            activated=impact.activated,
+            lost=impact.failed,
+        )
+        for outcome in impact.outcomes:
+            self.tracer.record(
+                self._clock,
+                RECOVERY,
+                connection=outcome.connection_id,
+                success=outcome.success,
+                reason=outcome.reason,
+                backup_index=outcome.backup_index,
+            )
+        return impact
+
+    def repair_link(self, link_id: int) -> None:
+        self._service.repair_link(link_id)
+        self.tracer.record(self._clock, LINK_REPAIRED, link=link_id)
+
+    # -- pass-through ------------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._service, name)

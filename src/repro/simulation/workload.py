@@ -1,0 +1,177 @@
+"""Traffic patterns: the paper's UT and NT endpoint distributions.
+
+Section 6.1: "One, called UT, is uniform random selection of source
+and destination nodes.  The other, NT, is random pre-selection of 10
+nodes as destinations for 50% of DR-connections."  NT concentrates
+backups around a few egress points, which is exactly the regime where
+the D-LSR vs P-LSR information gap shows (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence, Tuple
+
+
+class TrafficPattern(abc.ABC):
+    """Samples (source, destination) pairs for connection requests."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError("a traffic pattern needs at least 2 nodes")
+        self.num_nodes = num_nodes
+
+    @abc.abstractmethod
+    def sample_pair(self, rng: random.Random) -> Tuple[int, int]:
+        """Return an ordered ``(source, destination)`` pair, distinct."""
+
+
+class UniformTraffic(TrafficPattern):
+    """UT: both endpoints uniform over all nodes."""
+
+    name = "UT"
+
+    def sample_pair(self, rng: random.Random) -> Tuple[int, int]:
+        source = rng.randrange(self.num_nodes)
+        destination = rng.randrange(self.num_nodes - 1)
+        if destination >= source:
+            destination += 1
+        return source, destination
+
+
+class HotspotTraffic(TrafficPattern):
+    """NT: a pre-selected set of hot nodes receives a fixed fraction
+    of all connections as destinations; sources stay uniform.
+
+    Args:
+        num_nodes: Network size.
+        hot_nodes: Explicit hot destination set, or ``None`` to
+            pre-select ``hot_count`` nodes with ``selection_rng``.
+        hot_count: Number of hot destinations (paper: 10).
+        hot_fraction: Share of connections aimed at hot nodes
+            (paper: 50%).
+        selection_rng: Randomness for the pre-selection (only used
+            when ``hot_nodes`` is ``None``).
+    """
+
+    name = "NT"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        hot_nodes: Optional[Sequence[int]] = None,
+        hot_count: int = 10,
+        hot_fraction: float = 0.5,
+        selection_rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(num_nodes)
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if hot_nodes is None:
+            if not 0 < hot_count <= num_nodes:
+                raise ValueError("hot_count must be in [1, num_nodes]")
+            rng = selection_rng or random.Random(0)
+            hot_nodes = rng.sample(range(num_nodes), hot_count)
+        hot = tuple(dict.fromkeys(hot_nodes))
+        for node in hot:
+            if not 0 <= node < num_nodes:
+                raise ValueError("hot node {} out of range".format(node))
+        if not hot:
+            raise ValueError("hot node set may not be empty")
+        self.hot_nodes = hot
+        self.hot_fraction = hot_fraction
+
+    def sample_pair(self, rng: random.Random) -> Tuple[int, int]:
+        if rng.random() < self.hot_fraction:
+            destination = self.hot_nodes[rng.randrange(len(self.hot_nodes))]
+        else:
+            destination = rng.randrange(self.num_nodes)
+        # Uniform source distinct from the destination.
+        source = rng.randrange(self.num_nodes - 1)
+        if source >= destination:
+            source += 1
+        return source, destination
+
+
+def make_pattern(
+    name: str, num_nodes: int, selection_rng: Optional[random.Random] = None
+) -> TrafficPattern:
+    """Factory by paper name ("UT" or "NT")."""
+    if name == UniformTraffic.name:
+        return UniformTraffic(num_nodes)
+    if name == HotspotTraffic.name:
+        return HotspotTraffic(num_nodes, selection_rng=selection_rng)
+    raise ValueError("unknown traffic pattern {!r}".format(name))
+
+
+class BandwidthClass:
+    """One application class: a name, a bandwidth, a traffic share."""
+
+    __slots__ = ("name", "bw", "weight")
+
+    def __init__(self, name: str, bw: float, weight: float) -> None:
+        if bw <= 0:
+            raise ValueError("class bandwidth must be positive")
+        if weight <= 0:
+            raise ValueError("class weight must be positive")
+        self.name = name
+        self.bw = bw
+        self.weight = weight
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BandwidthClass({!r}, bw={}, weight={})".format(
+            self.name, self.bw, self.weight
+        )
+
+
+class BandwidthMix:
+    """A categorical distribution over connection bandwidths.
+
+    Section 6.1 fixes ``bw_req`` to one constant "selected while
+    keeping in mind the bandwidth and time constraints of typical
+    video and audio applications"; this generalization lets scenarios
+    mix classes.  The whole resource machinery is bandwidth-weighted
+    (spare sizing uses the ledger's weighted demand map), so mixed
+    workloads need no special-casing downstream.
+    """
+
+    def __init__(self, classes: Sequence[BandwidthClass]) -> None:
+        if not classes:
+            raise ValueError("a bandwidth mix needs at least one class")
+        self.classes = tuple(classes)
+        self._total_weight = sum(c.weight for c in self.classes)
+
+    @classmethod
+    def constant(cls, bw: float) -> "BandwidthMix":
+        """The paper's single-class workload."""
+        return cls([BandwidthClass("constant", bw, 1.0)])
+
+    @classmethod
+    def audio_video(cls) -> "BandwidthMix":
+        """A plausible two-class mix: many thin audio streams, fewer
+        fat video streams (bandwidths in units of the paper's
+        ``bw_req``)."""
+        return cls(
+            [
+                BandwidthClass("audio", 0.5, 2.0),
+                BandwidthClass("video", 2.0, 1.0),
+            ]
+        )
+
+    def sample(self, rng: random.Random) -> float:
+        roll = rng.random() * self._total_weight
+        acc = 0.0
+        for klass in self.classes:
+            acc += klass.weight
+            if roll < acc:
+                return klass.bw
+        return self.classes[-1].bw
+
+    @property
+    def mean_bw(self) -> float:
+        return (
+            sum(c.bw * c.weight for c in self.classes) / self._total_weight
+        )

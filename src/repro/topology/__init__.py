@@ -1,0 +1,58 @@
+"""Topology substrate: network model, generators and distance tables."""
+
+from .graph import Link, Network, Route, TopologyError
+from .waxman import WaxmanParameters, waxman_network
+from .mesh import hexagonal_mesh_network, mesh_network, mesh_node, torus_network
+from .generators import (
+    complete_network,
+    line_network,
+    network_from_edges,
+    random_regular_network,
+    ring_network,
+    star_network,
+)
+from .distance import (
+    UNREACHABLE,
+    DistanceTable,
+    all_pairs_hop_counts,
+    average_path_length,
+    build_distance_tables,
+    hop_counts_from,
+    network_diameter,
+)
+from .serialize import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "Route",
+    "TopologyError",
+    "WaxmanParameters",
+    "waxman_network",
+    "mesh_network",
+    "mesh_node",
+    "torus_network",
+    "hexagonal_mesh_network",
+    "ring_network",
+    "line_network",
+    "star_network",
+    "complete_network",
+    "random_regular_network",
+    "network_from_edges",
+    "UNREACHABLE",
+    "DistanceTable",
+    "hop_counts_from",
+    "all_pairs_hop_counts",
+    "network_diameter",
+    "average_path_length",
+    "build_distance_tables",
+    "load_network",
+    "save_network",
+    "network_to_dict",
+    "network_from_dict",
+]

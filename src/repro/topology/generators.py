@@ -1,0 +1,129 @@
+"""Auxiliary topology generators.
+
+These are not used by the paper's headline experiments (which run on
+Waxman graphs) but are exercised by the test suite, the examples and
+the ablation benchmarks: rings and random-regular graphs give known
+path diversity, which makes routing-scheme behaviour easy to reason
+about and assert on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Network, TopologyError
+
+
+def ring_network(num_nodes: int, capacity: float) -> Network:
+    """A cycle of ``num_nodes`` nodes; every node pair has exactly two
+    disjoint paths, the minimum useful diversity for primary/backup."""
+    if num_nodes < 3:
+        raise TopologyError("a ring needs at least 3 nodes")
+    net = Network(num_nodes)
+    for i in range(num_nodes):
+        net.add_edge(i, (i + 1) % num_nodes, capacity)
+    return net.freeze()
+
+
+def line_network(num_nodes: int, capacity: float) -> Network:
+    """A path graph — a topology with *no* backup diversity, used by
+    tests that assert graceful degradation when no disjoint route
+    exists."""
+    if num_nodes < 2:
+        raise TopologyError("a line needs at least 2 nodes")
+    net = Network(num_nodes)
+    for i in range(num_nodes - 1):
+        net.add_edge(i, i + 1, capacity)
+    return net.freeze()
+
+
+def complete_network(num_nodes: int, capacity: float) -> Network:
+    """A clique; maximal path diversity."""
+    if num_nodes < 2:
+        raise TopologyError("a complete network needs at least 2 nodes")
+    net = Network(num_nodes)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            net.add_edge(i, j, capacity)
+    return net.freeze()
+
+
+def star_network(num_nodes: int, capacity: float) -> Network:
+    """Hub-and-spoke with node 0 as the hub; every route crosses the
+    hub, so backups always conflict — a worst case for multiplexing."""
+    if num_nodes < 3:
+        raise TopologyError("a star needs at least 3 nodes")
+    net = Network(num_nodes)
+    for i in range(1, num_nodes):
+        net.add_edge(0, i, capacity)
+    return net.freeze()
+
+
+def random_regular_network(
+    num_nodes: int,
+    degree: int,
+    capacity: float,
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 500,
+) -> Network:
+    """A connected random graph in which every node has exactly
+    ``degree`` neighbors (pairing-model construction with retries).
+
+    Useful for ablations that need the paper's average-degree knob with
+    zero degree variance.
+    """
+    if degree < 2:
+        raise TopologyError("degree must be >= 2 for connectivity")
+    if degree >= num_nodes:
+        raise TopologyError("degree must be < num_nodes")
+    if (num_nodes * degree) % 2 != 0:
+        raise TopologyError("num_nodes * degree must be even")
+    rng = rng or random.Random()
+    for _ in range(max_attempts):
+        edges = _pairing_model(num_nodes, degree, rng)
+        if edges is None:
+            continue
+        net = Network(num_nodes)
+        for u, v in sorted(edges):
+            net.add_edge(u, v, capacity)
+        net.freeze()
+        if net.is_connected():
+            return net
+    raise TopologyError(
+        "failed to build a connected {}-regular graph on {} nodes".format(
+            degree, num_nodes
+        )
+    )
+
+
+def _pairing_model(
+    num_nodes: int, degree: int, rng: random.Random
+) -> Optional[set]:
+    stubs: List[int] = []
+    for node in range(num_nodes):
+        stubs.extend([node] * degree)
+    rng.shuffle(stubs)
+    edges = set()
+    while stubs:
+        u = stubs.pop()
+        v = stubs.pop()
+        if u == v:
+            return None
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            return None
+        edges.add(key)
+    return edges
+
+
+def network_from_edges(
+    num_nodes: int,
+    edges: Sequence[Tuple[int, int]],
+    capacity: float,
+) -> Network:
+    """Build a frozen network from an explicit bidirectional edge list."""
+    net = Network(num_nodes)
+    for u, v in edges:
+        net.add_edge(u, v, capacity)
+    return net.freeze()

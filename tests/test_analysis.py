@@ -1,0 +1,197 @@
+"""Tests for the analysis modules (metrics, reports, saturation)."""
+
+import pytest
+
+from repro.analysis import (
+    CDP_BYTES,
+    FaultToleranceObserver,
+    FaultToleranceStats,
+    ReactiveRecoveryObserver,
+    SpareShareObserver,
+    acceptance_breakdown,
+    build_curve,
+    capacity_overhead_percent,
+    compare_acceptance,
+    compare_overhead,
+    discovery_messages_per_request,
+    format_series,
+    format_table,
+    record_bytes_for_scheme,
+    routing_overhead,
+)
+from repro.core import DRTPService
+from repro.routing import DLSRScheme, ReactiveScheme
+from repro.simulation import SimulationResult
+from repro.topology import mesh_network
+
+
+class TestFaultToleranceStats:
+    def test_vacuous_is_perfect(self):
+        assert FaultToleranceStats().p_act_bk == 1.0
+
+    def test_absorb_and_merge(self):
+        from repro.core.recovery import ActivationOutcome, FailureImpact
+
+        impact = FailureImpact(link_id=0)
+        impact.outcomes = [
+            ActivationOutcome(1, True, "activated"),
+            ActivationOutcome(2, False, "spare-exhausted"),
+        ]
+        stats = FaultToleranceStats()
+        stats.absorb(impact)
+        assert stats.attempts == 2
+        assert stats.successes == 1
+        assert stats.failures_by_reason == {"spare-exhausted": 1}
+
+        other = FaultToleranceStats()
+        other.absorb(impact)
+        stats.merge(other)
+        assert stats.attempts == 4
+        assert stats.p_act_bk == pytest.approx(0.5)
+
+    def test_observer_sweeps_service(self):
+        service = DRTPService(mesh_network(3, 3, 10.0), DLSRScheme())
+        service.request(0, 8, 1.0)
+        observer = FaultToleranceObserver()
+        observer.on_snapshot(service, 0.0)
+        assert observer.stats.snapshots == 1
+        assert observer.stats.links_swept == 4  # one 4-hop primary
+        assert observer.stats.p_act_bk == 1.0
+
+    def test_reactive_observer(self):
+        service = DRTPService(
+            mesh_network(3, 3, 10.0), ReactiveScheme(), require_backup=False
+        )
+        service.request(0, 8, 1.0)
+        observer = ReactiveRecoveryObserver()
+        observer.on_snapshot(service, 0.0)
+        assert observer.stats.attempts == 4
+        assert observer.stats.p_act_bk == 1.0  # empty net: re-route easy
+
+
+class TestOverhead:
+    def test_percent_formula(self):
+        assert capacity_overhead_percent(100.0, 80.0) == pytest.approx(20.0)
+
+    def test_negative_clamped(self):
+        assert capacity_overhead_percent(100.0, 120.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert capacity_overhead_percent(0.0, 10.0) == 0.0
+
+    def test_compare_overhead(self):
+        baseline = SimulationResult("no-backup", 10.0, 5.0,
+                                    active_samples=[(6.0, 100)])
+        scheme = SimulationResult("D-LSR", 10.0, 5.0,
+                                  active_samples=[(6.0, 75)])
+        comparison = compare_overhead(baseline, scheme)
+        assert comparison.overhead_percent == pytest.approx(25.0)
+        assert comparison.scheme == "D-LSR"
+
+    def test_spare_share_observer(self):
+        service = DRTPService(mesh_network(3, 3, 10.0), DLSRScheme())
+        service.request(0, 8, 1.0)
+        observer = SpareShareObserver()
+        observer.on_snapshot(service, 1.0)
+        assert len(observer.samples) == 1
+        sample = observer.samples[0]
+        assert sample.prime_bw > 0
+        assert sample.spare_bw > 0
+        assert 0 < sample.spare_fraction_of_committed < 1
+        assert observer.mean_utilization == pytest.approx(sample.utilization)
+
+
+class TestAcceptance:
+    def test_breakdown(self):
+        result = SimulationResult(
+            "BF", 10.0, 5.0, requests=10, accepted=7,
+            rejected={"no-primary-route": 3},
+        )
+        breakdown = acceptance_breakdown(result)
+        assert breakdown.acceptance_ratio == pytest.approx(0.7)
+        assert breakdown.blocking_probability == pytest.approx(0.3)
+        assert breakdown.rejection_fraction("no-primary-route") == 0.3
+        assert breakdown.rejection_fraction("other") == 0.0
+
+    def test_compare_sorted(self):
+        results = [
+            SimulationResult("A", 1, 0, requests=10, accepted=5),
+            SimulationResult("B", 1, 0, requests=10, accepted=9),
+        ]
+        ordered = compare_acceptance(results)
+        assert [b.scheme for b in ordered] == ["B", "A"]
+
+
+class TestMessages:
+    def test_record_bytes_by_scheme(self):
+        assert record_bytes_for_scheme("P-LSR", 100) < record_bytes_for_scheme(
+            "D-LSR", 100
+        )
+        assert record_bytes_for_scheme("BF", 100) == record_bytes_for_scheme(
+            "no-backup", 100
+        )
+
+    def test_bf_pays_discovery_lsr_pays_updates(self):
+        bf = SimulationResult("BF", 1, 0, requests=100,
+                              control_messages=5000)
+        dlsr = SimulationResult("D-LSR", 1, 0, requests=100)
+        bf_cost = routing_overhead(bf, num_links=180)
+        dlsr_cost = routing_overhead(dlsr, num_links=180,
+                                     backup_hops_total=400)
+        assert bf_cost.discovery_bytes == 5000 * CDP_BYTES
+        assert bf_cost.update_bytes == 0
+        assert dlsr_cost.discovery_bytes == 0
+        assert dlsr_cost.update_bytes > 0
+        assert dlsr_cost.standing_database_bytes > bf_cost.standing_database_bytes
+
+    def test_messages_per_request(self):
+        result = SimulationResult("BF", 1, 0, requests=50,
+                                  control_messages=2500)
+        assert discovery_messages_per_request(result) == 50.0
+        empty = SimulationResult("BF", 1, 0)
+        assert discovery_messages_per_request(empty) == 0.0
+
+
+class TestSaturation:
+    def test_detects_knee(self):
+        curve = build_curve(
+            [(0.2, 400), (0.3, 600), (0.4, 800), (0.5, 820), (0.6, 828)]
+        )
+        # Default tolerance: the 0.5->0.6 step gains < 5% of the
+        # proportional growth; a looser tolerance flags 0.5 already.
+        assert curve.saturation_lambda() == 0.6
+        assert curve.saturation_lambda(tolerance=0.15) == 0.5
+        assert curve.is_saturated_at(0.6)
+        assert not curve.is_saturated_at(0.3)
+
+    def test_unsaturated_curve(self):
+        curve = build_curve([(0.2, 400), (0.3, 600), (0.4, 800)])
+        assert curve.saturation_lambda() is None
+
+    def test_validation(self):
+        from repro.analysis.saturation import SaturationCurve
+
+        with pytest.raises(ValueError):
+            SaturationCurve(lambdas=(0.3, 0.2), mean_active=(1, 2))
+        with pytest.raises(ValueError):
+            SaturationCurve(lambdas=(0.1,), mean_active=(1, 2))
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("a", 1), ("long-name", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_series(self):
+        text = format_series(
+            "lambda", [0.2, 0.3], {"D-LSR": [0.99, 0.98]}, title="t"
+        )
+        assert "lambda" in text
+        assert "D-LSR" in text
+        assert "0.99" in text

@@ -1,0 +1,112 @@
+"""Tests for the risk/hotspot analysis reports."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    assess_double_failures,
+    connection_exposures,
+    rank_link_risks,
+)
+from repro.core import DRTPService
+from repro.routing import DLSRScheme, NoBackupScheme
+from repro.topology import mesh_network, waxman_network
+
+
+@pytest.fixture
+def loaded_service():
+    net = waxman_network(30, 20.0, rng=random.Random(8))
+    service = DRTPService(net, DLSRScheme())
+    rng = random.Random(8)
+    while service.active_connection_count < 40:
+        a, b = rng.randrange(30), rng.randrange(30)
+        if a != b:
+            service.request(a, b, 1.0)
+    return service
+
+
+class TestLinkRisks:
+    def test_covers_every_primary_link(self, loaded_service):
+        risks = rank_link_risks(loaded_service)
+        assert len(risks) == len(loaded_service.links_carrying_primaries())
+
+    def test_sorted_worst_first(self, loaded_service):
+        risks = rank_link_risks(loaded_service)
+        fails = [r.would_fail for r in risks]
+        assert fails == sorted(fails, reverse=True)
+
+    def test_top_limits(self, loaded_service):
+        assert len(rank_link_risks(loaded_service, top=3)) == 3
+
+    def test_recovery_ratio_bounds(self, loaded_service):
+        for risk in rank_link_risks(loaded_service):
+            assert 0.0 <= risk.recovery_ratio <= 1.0
+            assert (
+                risk.would_recover + risk.would_fail
+                == risk.primaries_crossing
+            )
+
+    def test_reasons_exclude_activated(self, loaded_service):
+        for risk in rank_link_risks(loaded_service):
+            assert all(
+                reason != "activated" for reason, _ in risk.failure_reasons
+            )
+
+
+class TestConnectionExposures:
+    def test_protected_connections_zero_exposure(self, loaded_service):
+        exposures = connection_exposures(loaded_service)
+        assert len(exposures) == loaded_service.active_connection_count
+        # On a lightly loaded survivable network D-LSR protects fully.
+        assert all(e.exposure == 0.0 for e in exposures)
+
+    def test_unprotected_connections_fully_exposed(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, NoBackupScheme(), require_backup=False)
+        service.request(0, 8, 1.0)
+        exposures = connection_exposures(service)
+        assert exposures[0].exposure == 1.0
+        assert exposures[0].backup_count == 0
+
+    def test_sorted_most_exposed_first(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, NoBackupScheme(), require_backup=False)
+        service.request(0, 8, 1.0)
+        service.request(2, 6, 1.0)
+        exposures = connection_exposures(service)
+        values = [e.exposure for e in exposures]
+        assert values == sorted(values, reverse=True)
+
+
+class TestDoubleFailures:
+    def test_double_weaker_than_single(self, loaded_service):
+        double = assess_double_failures(
+            loaded_service, max_pairs=150, rng=random.Random(1)
+        )
+        # Single-failure FT on this service is 1.0; pairs must be <=.
+        single_attempts = single_successes = 0
+        for link_id in loaded_service.links_carrying_primaries():
+            impact = loaded_service.assess_link_failure(link_id)
+            single_attempts += impact.affected
+            single_successes += impact.activated
+        single_ft = (
+            single_successes / single_attempts if single_attempts else 1.0
+        )
+        assert double.p_act_bk <= single_ft + 1e-9
+        assert double.pairs_assessed == 150
+
+    def test_small_population_exhaustive(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        service.request(0, 8, 1.0)
+        stats = assess_double_failures(service, max_pairs=1000)
+        primary_links = len(service.links_carrying_primaries())
+        assert stats.pairs_assessed == primary_links * (primary_links - 1) // 2
+
+    def test_empty_service(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        stats = assess_double_failures(service)
+        assert stats.p_act_bk == 1.0
+        assert stats.pairs_assessed == 0

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.simulation import Scenario
+from repro.topology import load_network
+
+
+@pytest.fixture
+def topology_file(tmp_path):
+    path = tmp_path / "net.json"
+    assert main(["topology", str(path), "--nodes", "20",
+                 "--capacity", "15", "--seed", "4"]) == 0
+    return path
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scen.json"
+    assert main(["scenario", str(path), "--nodes", "20", "--rate", "0.05",
+                 "--duration", "1200", "--seed", "4"]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "a", "b", "--scheme", "X"])
+
+
+class TestTopologyCommand:
+    def test_waxman_output_loadable(self, topology_file):
+        net = load_network(topology_file)
+        assert net.num_nodes == 20
+        assert net.is_connected()
+        assert all(l.capacity == 15 for l in net.links())
+
+    def test_mesh_kind(self, tmp_path):
+        path = tmp_path / "mesh.json"
+        assert main(["topology", str(path), "--kind", "mesh",
+                     "--rows", "3", "--cols", "3"]) == 0
+        assert load_network(path).num_nodes == 9
+
+    def test_ring_kind(self, tmp_path):
+        path = tmp_path / "ring.json"
+        assert main(["topology", str(path), "--kind", "ring",
+                     "--nodes", "8"]) == 0
+        net = load_network(path)
+        assert all(net.degree(n) == 2 for n in net.nodes())
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["topology", str(a), "--nodes", "15", "--seed", "9"])
+        main(["topology", str(b), "--nodes", "15", "--seed", "9"])
+        assert json.loads(a.read_text()) == json.loads(b.read_text())
+
+
+class TestScenarioCommand:
+    def test_output_loadable(self, scenario_file):
+        scenario = Scenario.load(scenario_file)
+        assert scenario.num_requests > 0
+        assert scenario.metadata["pattern"] == "UT"
+
+    def test_nt_pattern(self, tmp_path):
+        path = tmp_path / "nt.json"
+        main(["scenario", str(path), "--nodes", "30", "--rate", "0.05",
+              "--duration", "600", "--pattern", "NT"])
+        assert Scenario.load(path).metadata["pattern"] == "NT"
+
+
+class TestReplayCommand:
+    def test_replay_runs(self, topology_file, scenario_file, capsys):
+        assert main(["replay", str(topology_file), str(scenario_file),
+                     "--scheme", "D-LSR"]) == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance P_act-bk" in out
+        assert "acceptance ratio" in out
+
+    def test_replay_no_backup(self, topology_file, scenario_file, capsys):
+        assert main(["replay", str(topology_file), str(scenario_file),
+                     "--scheme", "no-backup"]) == 0
+        out = capsys.readouterr().out
+        assert "no-backup" in out
+
+    def test_replay_multi_backup(self, topology_file, scenario_file, capsys):
+        assert main(["replay", str(topology_file), str(scenario_file),
+                     "--scheme", "D-LSR", "--num-backups", "2"]) == 0
+        assert "fault tolerance" in capsys.readouterr().out
+
+
+class TestAssessCommand:
+    def test_link_sweep(self, topology_file, capsys):
+        assert main(["assess", str(topology_file),
+                     "--connections", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "P_act-bk" in out
+
+    def test_node_sweep(self, topology_file, capsys):
+        assert main(["assess", str(topology_file), "--connections", "15",
+                     "--nodes"]) == 0
+        assert "P_act-bk" in capsys.readouterr().out

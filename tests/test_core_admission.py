@@ -1,0 +1,145 @@
+"""Tests for the admission controller (establishment / teardown)."""
+
+import pytest
+
+from repro.core import (
+    REASON_BACKUP_REGISTRATION,
+    REASON_NO_BACKUP_ROUTE,
+    REASON_NO_PRIMARY,
+    AdmissionController,
+    ConnectionRequest,
+    SharedSparePolicy,
+)
+from repro.network import NetworkState
+from repro.routing import RoutePlan
+from repro.topology import Route, mesh_network
+
+
+@pytest.fixture
+def net():
+    return mesh_network(3, 3, 10.0)
+
+
+@pytest.fixture
+def state(net):
+    return NetworkState(net)
+
+
+@pytest.fixture
+def controller(state):
+    return AdmissionController(state, SharedSparePolicy())
+
+
+def request(rid=1, bw=1.0):
+    return ConnectionRequest(rid, 0, 8, bw)
+
+
+def plan(net, primary=(0, 1, 2, 5, 8), backup=(0, 3, 6, 7, 8)):
+    return RoutePlan(
+        primary=Route.from_nodes(net, list(primary)) if primary else None,
+        backup=Route.from_nodes(net, list(backup)) if backup else None,
+    )
+
+
+class TestAdmission:
+    def test_successful_admission_reserves_everything(
+        self, net, state, controller
+    ):
+        decision = controller.admit(request(), plan(net))
+        assert decision.accepted
+        conn = decision.connection
+        for link_id in conn.primary_route.link_ids:
+            assert state.ledger(link_id).prime_bw == pytest.approx(1.0)
+        for link_id in conn.backup_route.link_ids:
+            assert state.ledger(link_id).has_backup(1)
+
+    def test_no_primary_rejected(self, net, controller):
+        decision = controller.admit(request(), plan(net, primary=None))
+        assert not decision.accepted
+        assert decision.reason == REASON_NO_PRIMARY
+
+    def test_no_backup_route_rejected_and_rolled_back(
+        self, net, state, controller
+    ):
+        decision = controller.admit(request(), plan(net, backup=None))
+        assert not decision.accepted
+        assert decision.reason == REASON_NO_BACKUP_ROUTE
+        assert state.total_prime_bw() == 0.0
+
+    def test_unprotected_admission_when_backup_optional(self, net, state):
+        controller = AdmissionController(
+            state, SharedSparePolicy(), require_backup=False
+        )
+        decision = controller.admit(request(), plan(net, backup=None))
+        assert decision.accepted
+        assert decision.connection.backup is None
+
+    def test_backup_registration_failure_rolls_back_primary(
+        self, net, state, controller
+    ):
+        # Saturate one backup link completely.
+        choke = Route.from_nodes(net, [0, 3, 6, 7, 8]).link_ids[1]
+        state.ledger(choke).reserve_primary(10.0)
+        decision = controller.admit(request(), plan(net))
+        assert not decision.accepted
+        assert decision.reason == REASON_BACKUP_REGISTRATION
+        assert state.total_prime_bw() == pytest.approx(10.0)  # only the choke
+        assert all(l.backup_count == 0 for l in state.ledgers())
+
+    def test_registration_failure_keeps_primary_when_optional(
+        self, net, state
+    ):
+        controller = AdmissionController(
+            state, SharedSparePolicy(), require_backup=False
+        )
+        choke = Route.from_nodes(net, [0, 3, 6, 7, 8]).link_ids[1]
+        state.ledger(choke).reserve_primary(10.0)
+        decision = controller.admit(request(), plan(net))
+        assert decision.accepted
+        assert decision.connection.backup is None
+
+    def test_primary_reservation_race_rolls_back(self, net, state, controller):
+        # The plan says there is room, but the ledger disagrees
+        # (emulates stale link-state in snapshot mode).
+        mid = Route.from_nodes(net, [0, 1, 2, 5, 8]).link_ids[2]
+        state.ledger(mid).reserve_primary(10.0)
+        decision = controller.admit(request(), plan(net))
+        assert not decision.accepted
+        assert state.total_prime_bw() == pytest.approx(10.0)
+
+    def test_established_seq_increments(self, net, controller):
+        a = controller.admit(request(1), plan(net))
+        b = controller.admit(
+            request(2), plan(net, primary=(0, 1, 4, 7, 8),
+                             backup=(0, 3, 6, 7, 8))
+        )
+        assert b.connection.established_seq == a.connection.established_seq + 1
+
+
+class TestRelease:
+    def test_release_returns_all_resources(self, net, state, controller):
+        decision = controller.admit(request(), plan(net))
+        controller.release(decision.connection)
+        assert state.total_prime_bw() == 0.0
+        assert state.total_spare_bw() == 0.0
+        assert all(l.backup_count == 0 for l in state.ledgers())
+        state.check_invariants()
+
+    def test_release_replenishes_starved_spare(self, net, state, controller):
+        """Section 5: freed primary bandwidth flows into deficient
+        spare pools on the same link."""
+        # Two conflicting backups cross link (3->6); capacity there is
+        # squeezed so only 1 unit of spare fits initially.
+        squeezed = net.link_between(3, 6).link_id
+        state.ledger(squeezed).reserve_primary(9.0)
+        controller.admit(request(1), plan(net))
+        controller.admit(
+            request(2),
+            plan(net, primary=(0, 1, 2, 5, 8), backup=(0, 3, 6, 7, 8)),
+        )
+        assert state.ledger(squeezed).spare_bw == pytest.approx(1.0)
+        # Free the squeezing primary via the public path: admit it as a
+        # connection?  Simpler: emulate its teardown directly.
+        state.ledger(squeezed).release_primary(9.0)
+        controller.spare_policy.resize(state.ledger(squeezed))
+        assert state.ledger(squeezed).spare_bw == pytest.approx(2.0)

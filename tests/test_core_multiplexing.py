@@ -1,0 +1,111 @@
+"""Tests for the spare-multiplexing policies (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    DedicatedSparePolicy,
+    NoSparePolicy,
+    SharedSparePolicy,
+)
+from repro.network import LinkLedger
+
+
+def ledger(capacity=10.0, num_links=8):
+    return LinkLedger(0, capacity, num_links)
+
+
+class TestSharedSparePolicy:
+    def test_sizes_to_max_demand(self):
+        led = ledger()
+        led.register_backup(1, {2, 3}, 1.0)
+        led.register_backup(2, {3}, 1.0)
+        outcome = SharedSparePolicy().resize(led)
+        # Worst single failure: L3 kills both primaries -> demand 2.
+        assert led.spare_bw == pytest.approx(2.0)
+        assert outcome.fully_provisioned
+
+    def test_disjoint_primaries_share_one_unit(self):
+        led = ledger()
+        led.register_backup(1, {2}, 1.0)
+        led.register_backup(2, {3}, 1.0)
+        SharedSparePolicy().resize(led)
+        # Figure 1's L9 case: disjoint primaries -> one spare unit.
+        assert led.spare_bw == pytest.approx(1.0)
+
+    def test_clamped_by_capacity_and_reports_deficit(self):
+        led = ledger(capacity=3.0)
+        led.reserve_primary(2.5)
+        led.register_backup(1, {0}, 1.0)
+        led.register_backup(2, {0}, 1.0)
+        outcome = SharedSparePolicy().resize(led)
+        assert outcome.target == pytest.approx(2.0)
+        assert outcome.achieved == pytest.approx(0.5)
+        assert outcome.deficit == pytest.approx(1.5)
+        assert not outcome.fully_provisioned
+
+    def test_shrinks_on_release(self):
+        led = ledger()
+        policy = SharedSparePolicy()
+        led.register_backup(1, {2, 3}, 1.0)
+        led.register_backup(2, {3}, 1.0)
+        policy.resize(led)
+        led.release_backup(2)
+        policy.resize(led)
+        assert led.spare_bw == pytest.approx(1.0)
+
+    def test_deficit_replenished_after_primary_release(self):
+        led = ledger(capacity=3.0)
+        policy = SharedSparePolicy()
+        led.reserve_primary(2.5)
+        led.register_backup(1, {0}, 1.0)
+        led.register_backup(2, {0}, 1.0)
+        policy.resize(led)
+        assert led.spare_bw == pytest.approx(0.5)
+        led.release_primary(2.5)
+        outcome = policy.resize(led)
+        assert led.spare_bw == pytest.approx(2.0)
+        assert outcome.fully_provisioned
+
+    def test_weighted_demand_generalization(self):
+        led = ledger()
+        led.register_backup(1, {2}, 2.0)
+        led.register_backup(2, {2}, 0.5)
+        SharedSparePolicy().resize(led)
+        assert led.spare_bw == pytest.approx(2.5)
+
+
+class TestDedicatedSparePolicy:
+    def test_sums_all_backups(self):
+        led = ledger()
+        led.register_backup(1, {2}, 1.0)
+        led.register_backup(2, {3}, 1.0)
+        DedicatedSparePolicy().resize(led)
+        assert led.spare_bw == pytest.approx(2.0)
+
+    def test_always_at_least_shared(self):
+        led = ledger()
+        led.register_backup(1, {2, 3}, 1.0)
+        led.register_backup(2, {3}, 1.0)
+        led.register_backup(3, {4}, 1.0)
+        shared_target = SharedSparePolicy().target(led)
+        dedicated_target = DedicatedSparePolicy().target(led)
+        assert dedicated_target >= shared_target
+
+
+class TestNoSparePolicy:
+    def test_reserves_nothing(self):
+        led = ledger()
+        led.register_backup(1, {2}, 1.0)
+        led.set_spare(1.0)
+        NoSparePolicy().resize(led)
+        assert led.spare_bw == 0.0
+
+
+class TestResizeOutcome:
+    def test_fully_provisioned_flag(self):
+        led = ledger()
+        led.register_backup(1, {2}, 1.0)
+        outcome = SharedSparePolicy().resize(led)
+        assert outcome.deficit == 0.0
+        assert outcome.fully_provisioned
+        assert outcome.link_id == 0

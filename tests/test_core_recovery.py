@@ -1,0 +1,218 @@
+"""Tests for failure assessment and mutating recovery."""
+
+import pytest
+
+from repro.core import (
+    ACTIVATED,
+    BACKUP_CROSSES_FAILURE,
+    NO_BACKUP,
+    SPARE_EXHAUSTED,
+    ConnectionState,
+    DRTPService,
+    SharedSparePolicy,
+    assess_link_failure,
+)
+from repro.routing import DLSRScheme, RoutePlan
+from repro.topology import Route, mesh_network, ring_network
+
+
+class _Fixed:
+    """Planner returning scripted plans (tests control the routes)."""
+
+    name = "fixed"
+
+    def __init__(self, plans):
+        self._plans = list(plans)
+        self._index = 0
+
+    def bind(self, context):
+        self.context = context
+
+    def plan(self, query):
+        plan = self._plans[self._index]
+        self._index += 1
+        return plan
+
+    def plan_backup(self, query, primary):
+        return None
+
+
+def fixed_service(net, routes):
+    plans = [
+        RoutePlan(
+            primary=Route.from_nodes(net, p),
+            backup=Route.from_nodes(net, b) if b else None,
+        )
+        for p, b in routes
+    ]
+    return DRTPService(net, _Fixed(plans), require_backup=False)
+
+
+class TestAssessment:
+    def test_unaffected_failure_empty(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        service.request(0, 2, 1.0)
+        unused = net.link_between(6, 7).link_id
+        impact = service.assess_link_failure(unused)
+        assert impact.affected == 0
+        assert impact.activated == 0
+
+    def test_clean_activation(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        service.request(0, 2, 1.0)
+        failed = net.link_between(0, 1).link_id
+        impact = service.assess_link_failure(failed)
+        assert impact.affected == 1
+        assert impact.outcomes[0].reason == ACTIVATED
+
+    def test_no_backup_fails(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], None)])
+        service.request(0, 2, 1.0)
+        failed = net.link_between(0, 1).link_id
+        impact = service.assess_link_failure(failed)
+        assert impact.outcomes[0].reason == NO_BACKUP
+        assert impact.failed == 1
+
+    def test_backup_crossing_failure_fails(self):
+        net = mesh_network(3, 3, 10.0)
+        # Backup shares the link 1->2 with the primary.
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 1, 2])])
+        service.request(0, 2, 1.0)
+        shared = net.link_between(1, 2).link_id
+        impact = service.assess_link_failure(shared)
+        assert impact.outcomes[0].reason == BACKUP_CROSSES_FAILURE
+
+    def test_spare_contention_in_establishment_order(self):
+        """Two conflicting backups, spare capped at one unit: the
+        earlier-established connection wins the activation race."""
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(
+            net,
+            [
+                ([0, 1, 2], [0, 3, 4, 5, 2]),
+                ([0, 1, 4], [0, 3, 4]),
+            ],
+        )
+        service.request(0, 2, 1.0)
+        service.request(0, 4, 1.0)
+        shared_backup_link = net.link_between(0, 3).link_id
+        # Both backups traverse 0->3; both primaries traverse 0->1.
+        service.state.ledger(shared_backup_link).set_spare(1.0)
+        failed = net.link_between(0, 1).link_id
+        impact = service.assess_link_failure(failed)
+        assert impact.affected == 2
+        assert impact.activated == 1
+        reasons = [outcome.reason for outcome in impact.outcomes]
+        assert reasons == [ACTIVATED, SPARE_EXHAUSTED]
+
+    def test_free_bandwidth_option_rescues(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(
+            net,
+            [
+                ([0, 1, 2], [0, 3, 4, 5, 2]),
+                ([0, 1, 4], [0, 3, 4]),
+            ],
+        )
+        service.request(0, 2, 1.0)
+        service.request(0, 4, 1.0)
+        service.state.ledger(net.link_between(0, 3).link_id).set_spare(1.0)
+        failed = net.link_between(0, 1).link_id
+        strict = service.assess_link_failure(failed)
+        relaxed = service.assess_link_failure(failed, use_free_bandwidth=True)
+        assert strict.activated == 1
+        assert relaxed.activated == 2
+
+    def test_assessment_is_pure(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        service.request(0, 2, 1.0)
+        before = (
+            service.state.total_prime_bw(),
+            service.state.total_spare_bw(),
+        )
+        service.assess_link_failure(net.link_between(0, 1).link_id)
+        after = (
+            service.state.total_prime_bw(),
+            service.state.total_spare_bw(),
+        )
+        assert before == after
+
+    def test_inactive_connections_ignored(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        decision = service.request(0, 2, 1.0)
+        decision.connection.mark_failed()
+        impact = assess_link_failure(
+            service.state,
+            [decision.connection],
+            net.link_between(0, 1).link_id,
+        )
+        assert impact.affected == 0
+
+
+class TestMutatingRecovery:
+    def test_promotion_moves_bandwidth(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        service.request(0, 2, 1.0)
+        failed = net.link_between(0, 1).link_id
+        impact = service.fail_link(failed, reconfigure=False)
+        assert impact.activated == 1
+        conn = service.connection(0)
+        assert conn.primary_route.nodes == (0, 3, 4, 5, 2)
+        assert conn.state is ConnectionState.UNPROTECTED
+        # Old primary links free again; new primary links reserved.
+        assert service.state.ledger(failed).prime_bw == 0.0
+        new_first = net.link_between(0, 3).link_id
+        assert service.state.ledger(new_first).prime_bw == pytest.approx(1.0)
+        service.check_invariants()
+
+    def test_casualty_torn_down(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], None)])
+        service.request(0, 2, 1.0)
+        failed = net.link_between(0, 1).link_id
+        impact = service.fail_link(failed, reconfigure=False)
+        assert impact.failed == 1
+        assert service.active_connection_count == 0
+        assert service.state.total_prime_bw() == 0.0
+        service.check_invariants()
+
+    def test_broken_backup_dropped_for_survivors(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        service.request(0, 2, 1.0)
+        backup_link = net.link_between(3, 4).link_id
+        impact = service.fail_link(backup_link, reconfigure=False)
+        assert impact.affected == 0  # primary untouched
+        conn = service.connection(0)
+        assert conn.backup is None
+        assert conn.state is ConnectionState.UNPROTECTED
+        assert service.state.total_spare_bw() == 0.0
+        service.check_invariants()
+
+    def test_reconfiguration_restores_protection(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        service.request(0, 8, 1.0)
+        conn = service.connection(0)
+        backup_link = conn.backup_route.link_ids[0]
+        service.fail_link(backup_link, reconfigure=True)
+        conn = service.connection(0)
+        assert conn.backup is not None
+        assert not conn.backup_route.uses_link(backup_link)
+        assert conn.state is ConnectionState.ACTIVE
+        service.check_invariants()
+
+    def test_sequential_failures_consistent(self):
+        net = ring_network(8, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        for offset in range(4):
+            service.request(offset, offset + 4, 1.0)
+        for link_id in (0, 5):
+            service.fail_link(link_id, reconfigure=True)
+            service.check_invariants()

@@ -1,0 +1,143 @@
+"""Tests for the distributed per-router control plane."""
+
+import pytest
+
+from repro.core import SharedSparePolicy, SignalingError
+from repro.core.router import (
+    DistributedControlPlane,
+    DRConnectionManager,
+)
+from repro.core.signaling import (
+    BackupRegisterPacket,
+    BackupReleasePacket,
+    register_backup_path,
+)
+from repro.network import NetworkState
+from repro.topology import Route, mesh_network
+
+
+@pytest.fixture
+def net():
+    return mesh_network(3, 3, 10.0)
+
+
+@pytest.fixture
+def plane(net):
+    return DistributedControlPlane(net, NetworkState(net), SharedSparePolicy())
+
+
+def packet(net, conn_id=1, nodes=(0, 3, 4, 5, 2), primary=(0, 1, 2)):
+    return BackupRegisterPacket(
+        connection_id=conn_id,
+        backup_route=Route.from_nodes(net, list(nodes)),
+        primary_lset=Route.from_nodes(net, list(primary)).lset,
+        bw_req=1.0,
+    )
+
+
+class TestDRConnectionManager:
+    def test_owns_only_outgoing_links(self, net):
+        state = NetworkState(net)
+        manager = DRConnectionManager(4, net, state, SharedSparePolicy())
+        for link_id in manager.own_links:
+            assert net.link(link_id).src == 4
+
+    def test_rejects_foreign_link(self, net):
+        state = NetworkState(net)
+        manager = DRConnectionManager(0, net, state, SharedSparePolicy())
+        foreign = net.link_between(4, 5).link_id
+        with pytest.raises(SignalingError):
+            manager.handle_primary_reserve(foreign, 1.0)
+
+    def test_register_updates_own_ledger(self, net):
+        state = NetworkState(net)
+        manager = DRConnectionManager(0, net, state, SharedSparePolicy())
+        own = net.link_between(0, 3).link_id
+        pkt = packet(net)
+        outcome = manager.handle_register(pkt, own)
+        assert outcome is not None
+        assert state.ledger(own).has_backup(1)
+        assert state.ledger(own).spare_bw == pytest.approx(1.0)
+
+    def test_register_rejects_without_headroom(self, net):
+        state = NetworkState(net)
+        manager = DRConnectionManager(0, net, state, SharedSparePolicy())
+        own = net.link_between(0, 3).link_id
+        state.ledger(own).reserve_primary(10.0)
+        assert manager.handle_register(packet(net), own) is None
+
+
+class TestDistributedWalks:
+    def test_primary_walk_reserves_per_hop(self, net, plane):
+        route = Route.from_nodes(net, [0, 1, 2])
+        result = plane.reserve_primary(route, 1.0)
+        assert result.success
+        assert result.messages == 2
+        for link_id in route.link_ids:
+            assert plane.state.ledger(link_id).prime_bw == pytest.approx(1.0)
+
+    def test_primary_walk_unwinds_on_rejection(self, net, plane):
+        route = Route.from_nodes(net, [0, 1, 2])
+        choke = route.link_ids[1]
+        plane.state.ledger(choke).reserve_primary(10.0)
+        result = plane.reserve_primary(route, 1.0)
+        assert not result.success
+        assert result.rejected_link == choke
+        # 2 forward messages + 1 unwind message
+        assert result.messages == 3
+        assert plane.state.ledger(route.link_ids[0]).prime_bw == 0.0
+
+    def test_register_walk_counts_messages(self, net, plane):
+        result = plane.register_backup(packet(net))
+        assert result.success
+        assert result.messages == 4  # one per backup hop
+        assert plane.messages_sent == 4
+
+    def test_register_rejection_unwind_counts(self, net, plane):
+        pkt = packet(net)
+        choke = pkt.backup_route.link_ids[2]
+        plane.state.ledger(choke).reserve_primary(10.0)
+        result = plane.register_backup(pkt)
+        assert not result.success
+        # 3 forward (third rejects) + 2 unwind
+        assert result.messages == 5
+        for link_id in pkt.backup_route.link_ids:
+            assert not plane.state.ledger(link_id).has_backup(1)
+
+    def test_release_walk(self, net, plane):
+        pkt = packet(net)
+        plane.register_backup(pkt)
+        messages = plane.release_backup(
+            BackupReleasePacket(
+                connection_id=pkt.connection_id,
+                backup_route=pkt.backup_route,
+                primary_lset=pkt.primary_lset,
+            )
+        )
+        assert messages == 4
+        assert plane.state.total_spare_bw() == 0.0
+
+
+class TestEquivalenceWithCentralized:
+    def test_same_end_state_as_signaling_module(self, net):
+        """The distributed walk and the centralized transaction must
+        leave identical ledgers."""
+        policy_a, policy_b = SharedSparePolicy(), SharedSparePolicy()
+        state_central = NetworkState(net)
+        state_distributed = NetworkState(net)
+        plane = DistributedControlPlane(net, state_distributed, policy_b)
+
+        for conn_id, nodes in enumerate(
+            [(0, 3, 4, 5, 2), (6, 3, 4, 5, 8), (0, 1, 4, 7, 8)]
+        ):
+            pkt = packet(net, conn_id=conn_id, nodes=nodes)
+            central = register_backup_path(state_central, policy_a, pkt)
+            distributed = plane.register_backup(pkt)
+            assert central.success == distributed.success
+
+        for ledger_a, ledger_b in zip(
+            state_central.ledgers(), state_distributed.ledgers()
+        ):
+            assert ledger_a.spare_bw == pytest.approx(ledger_b.spare_bw)
+            assert ledger_a.backup_count == ledger_b.backup_count
+            assert ledger_a.aplv == ledger_b.aplv

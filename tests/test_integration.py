@@ -1,0 +1,130 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro.core import ConnectionState, DRTPService
+from repro.analysis import FaultToleranceObserver, SpareShareObserver
+from repro.routing import (
+    BoundedFloodingScheme,
+    DLSRScheme,
+    NoBackupScheme,
+    PLSRScheme,
+)
+from repro.simulation import ScenarioSimulator, generate_scenario
+from repro.topology import waxman_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return waxman_network(30, 20.0, rng=random.Random(12))
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(30, 0.08, 3000.0, seed=12)
+
+
+SCHEMES = [DLSRScheme, PLSRScheme, BoundedFloodingScheme]
+
+
+@pytest.mark.slow
+class TestFullStackReplay:
+    @pytest.fixture(scope="class", params=[0, 1, 2])
+    def replayed(self, request, network, scenario):
+        scheme = SCHEMES[request.param]()
+        service = DRTPService(network, scheme)
+        ft = FaultToleranceObserver()
+        spare = SpareShareObserver()
+        simulator = ScenarioSimulator(
+            service, scenario, warmup=1500.0, snapshot_count=3,
+            check_invariants=True,
+        )
+        result = simulator.run(observers=(ft, spare))
+        return service, result, ft, spare
+
+    def test_accounting_reconciles(self, replayed):
+        service, result, *_ = replayed
+        assert result.accepted + sum(result.rejected.values()) == result.requests
+        assert service.active_connection_count == result.final_active
+
+    def test_fault_tolerance_sensible(self, replayed):
+        _, _, ft, _ = replayed
+        assert ft.stats.snapshots == 3
+        assert 0.5 <= ft.stats.p_act_bk <= 1.0
+
+    def test_spare_cheaper_than_primary(self, replayed):
+        """Multiplexing must make protection cheaper than the traffic
+        itself (the whole point of DRTP)."""
+        _, _, _, spare = replayed
+        assert 0.0 < spare.mean_spare_fraction < 0.5
+
+    def test_active_connections_protected(self, replayed):
+        service, *_ = replayed
+        for conn in service.connections():
+            assert conn.state in (
+                ConnectionState.ACTIVE,
+                ConnectionState.UNPROTECTED,
+            )
+            if conn.backup_route is not None:
+                for link_id in conn.backup_route.link_ids:
+                    assert service.state.ledger(link_id).has_backup(
+                        conn.connection_id
+                    )
+
+
+@pytest.mark.slow
+class TestSchemeComparisonOnSharedScenario:
+    def test_no_backup_carries_most(self, network, scenario):
+        """The no-backup baseline must never carry fewer connections
+        than any protected scheme on the same scenario."""
+        def run(scheme, require_backup=True):
+            service = DRTPService(
+                network, scheme, require_backup=require_backup
+            )
+            return ScenarioSimulator(
+                service, scenario, warmup=1500.0, snapshot_count=3
+            ).run()
+
+        baseline = run(NoBackupScheme(), require_backup=False)
+        for scheme_cls in SCHEMES:
+            protected = run(scheme_cls())
+            assert (
+                protected.mean_active_connections
+                <= baseline.mean_active_connections + 1e-9
+            )
+
+    def test_deterministic_across_replays(self, network, scenario):
+        results = []
+        for _ in range(2):
+            service = DRTPService(network, DLSRScheme())
+            results.append(
+                ScenarioSimulator(
+                    service, scenario, warmup=1500.0, snapshot_count=3
+                ).run()
+            )
+        assert results[0].accepted == results[1].accepted
+        assert results[0].active_samples == results[1].active_samples
+
+
+@pytest.mark.slow
+class TestFailureUnderLoad:
+    def test_storm_keeps_ledgers_consistent(self, network):
+        rng = random.Random(3)
+        service = DRTPService(network, DLSRScheme())
+        for _ in range(120):
+            a, b = rng.randrange(30), rng.randrange(30)
+            if a != b:
+                service.request(a, b, 1.0)
+        for _ in range(4):
+            links = service.links_carrying_primaries()
+            if not links:
+                break
+            service.fail_link(rng.choice(links), reconfigure=True)
+            service.check_invariants()
+        # Everything still standing can be released cleanly.
+        for conn in list(service.connections()):
+            service.release(conn.connection_id)
+        assert service.state.total_prime_bw() < 1e-6
+        assert service.state.total_spare_bw() < 1e-6

@@ -1,0 +1,205 @@
+"""Tests for multi-backup DR-connections (Section 2: "one or more
+backup channels")."""
+
+import pytest
+
+from repro.core import (
+    ACTIVATED,
+    ConnectionState,
+    DRTPService,
+    SPARE_EXHAUSTED,
+)
+from repro.routing import (
+    BoundedFloodingScheme,
+    DLSRScheme,
+    PLSRScheme,
+    RouteQuery,
+    RoutingContext,
+)
+from repro.network import NetworkState
+from repro.topology import complete_network, mesh_network, ring_network
+
+
+def bound(scheme, net):
+    scheme.bind(RoutingContext(net, NetworkState(net)))
+    return scheme
+
+
+class TestMultiBackupPlanning:
+    @pytest.mark.parametrize("scheme_cls", [PLSRScheme, DLSRScheme])
+    def test_two_backups_mutually_disjoint(self, scheme_cls):
+        net = complete_network(6, 10.0)
+        scheme = bound(scheme_cls(num_backups=2), net)
+        plan = scheme.plan(RouteQuery(0, 5, 1.0))
+        assert plan.backup is not None
+        assert len(plan.extra_backups) == 1
+        second = plan.extra_backups[0]
+        assert not (second.lset & plan.primary.lset)
+        assert not (second.lset & plan.backup.lset)
+
+    @pytest.mark.parametrize("scheme_cls", [PLSRScheme, DLSRScheme])
+    def test_ring_cannot_supply_second_backup(self, scheme_cls):
+        # A ring has exactly two disjoint routes; a third distinct
+        # route does not exist, so the second backup is dropped.
+        net = ring_network(6, 10.0)
+        scheme = bound(scheme_cls(num_backups=2), net)
+        plan = scheme.plan(RouteQuery(0, 3, 1.0))
+        assert plan.backup is not None
+        assert plan.extra_backups == ()
+
+    def test_bf_multi_backup_from_crt(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme = bound(BoundedFloodingScheme(num_backups=2), net)
+        plan = scheme.plan(RouteQuery(0, 8, 1.0))
+        assert plan.backup is not None
+        assert len(plan.all_backups) >= 1
+        routes = [plan.primary] + list(plan.all_backups)
+        lsets = [r.lset for r in routes]
+        assert len(set(lsets)) == len(lsets)  # all distinct
+
+    def test_num_backups_validated(self):
+        with pytest.raises(ValueError):
+            DLSRScheme(num_backups=0)
+        with pytest.raises(ValueError):
+            BoundedFloodingScheme(num_backups=0)
+
+
+class TestMultiBackupAdmission:
+    def test_both_backups_registered(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        assert decision.accepted
+        conn = decision.connection
+        assert conn.backup_count == 2
+        service.check_invariants()
+        # The extra backup holds registrations under its own key.
+        extra = conn.extra_backups[0]
+        key = extra.registration_key(conn.connection_id)
+        for link_id in extra.route.link_ids:
+            assert service.state.ledger(link_id).has_backup(key)
+
+    def test_release_returns_everything(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=3))
+        decision = service.request(0, 5, 1.0)
+        service.release(decision.connection.connection_id)
+        assert service.state.total_prime_bw() == pytest.approx(0.0)
+        assert service.state.total_spare_bw() == pytest.approx(0.0)
+        for ledger in service.state.ledgers():
+            assert ledger.backup_count == 0
+
+
+class TestMultiBackupRecovery:
+    def test_second_backup_rescues_when_first_is_broken(self):
+        """Fail a link crossed by the primary AND the first backup:
+        with one backup the connection dies; the second backup (made
+        disjoint from both) saves it."""
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        # Fabricate the bad case: fail a primary link, then check the
+        # assessment prefers whichever backup survives.
+        primary_link = conn.primary_route.link_ids[0]
+        impact = service.assess_link_failure(primary_link)
+        outcome = impact.outcomes[0]
+        assert outcome.success
+        # First backup is disjoint from primary, so index 0 activates.
+        assert outcome.backup_index == 0
+
+    def test_fallthrough_to_second_backup_on_spare_exhaustion(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        # Starve the first backup's spare on one of its links.
+        first_link = conn.backup_route.link_ids[0]
+        service.state.ledger(first_link).set_spare(0.0)
+        impact = service.assess_link_failure(conn.primary_route.link_ids[0])
+        outcome = impact.outcomes[0]
+        assert outcome.success
+        assert outcome.backup_index == 1
+        assert outcome.reason == ACTIVATED
+
+    def test_all_backups_starved_fails(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        for channel in conn.all_backups:
+            service.state.ledger(channel.route.link_ids[0]).set_spare(0.0)
+        impact = service.assess_link_failure(conn.primary_route.link_ids[0])
+        outcome = impact.outcomes[0]
+        assert not outcome.success
+        assert outcome.reason == SPARE_EXHAUSTED
+
+    def test_mutating_failure_promotes_and_releases_others(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        old_backup_route = conn.backup_route
+        service.fail_link(conn.primary_route.link_ids[0], reconfigure=False)
+        conn = service.connection(conn.connection_id)
+        assert conn.primary_route.lset == old_backup_route.lset
+        # Remaining old backups were dropped (routed vs dead primary).
+        assert conn.state is ConnectionState.UNPROTECTED
+        service.check_invariants()
+
+    def test_reconfigure_after_promotion(self):
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        service.fail_link(conn.primary_route.link_ids[0], reconfigure=True)
+        conn = service.connection(conn.connection_id)
+        assert conn.backup is not None
+        assert conn.state is ConnectionState.ACTIVE
+        service.check_invariants()
+
+    def test_drop_of_first_backup_promotes_extra_in_place(self):
+        """Fail a link on the first backup only: the extra backup
+        slides into first position with its registrations intact."""
+        net = complete_network(6, 10.0)
+        service = DRTPService(net, DLSRScheme(num_backups=2))
+        decision = service.request(0, 5, 1.0)
+        conn = decision.connection
+        first_route = conn.backup_route
+        second_route = conn.extra_backups[0].route
+        # Pick a link only the first backup uses.
+        only_first = next(
+            b for b in first_route.link_ids
+            if b not in second_route.lset
+            and b not in conn.primary_route.lset
+        )
+        service.fail_link(only_first, reconfigure=False)
+        conn = service.connection(conn.connection_id)
+        assert conn.backup is not None
+        assert conn.backup.route.lset == second_route.lset
+        assert conn.backup.registration_index == 1  # key preserved
+        service.check_invariants()
+
+
+class TestMultiBackupFaultToleranceGain:
+    def test_two_backups_never_worse_under_contention(self):
+        """Spare contention: with k=2 every affected connection has a
+        second chance, so network-wide activation success can only
+        improve (holding everything else fixed)."""
+        import random
+
+        from repro.analysis import FaultToleranceObserver
+
+        net = complete_network(8, 4.0)
+        results = {}
+        for k in (1, 2):
+            service = DRTPService(net, DLSRScheme(num_backups=k))
+            rng = random.Random(5)
+            for _ in range(40):
+                a, b = rng.randrange(8), rng.randrange(8)
+                if a != b:
+                    service.request(a, b, 1.0)
+            observer = FaultToleranceObserver()
+            observer.on_snapshot(service, 0.0)
+            results[k] = observer.stats.p_act_bk
+        assert results[2] >= results[1]

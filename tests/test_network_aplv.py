@@ -1,0 +1,161 @@
+"""Unit tests for APLV and Conflict Vector data structures."""
+
+import pytest
+
+from repro.network import APLV, APLVError, ConflictVector
+
+
+class TestAPLVUpdates:
+    def test_starts_zero(self):
+        aplv = APLV(5)
+        assert aplv.is_zero()
+        assert aplv.l1_norm == 0
+        assert aplv.max_element == 0
+        assert aplv.to_dense() == (0, 0, 0, 0, 0)
+
+    def test_add_primary_increments_positions(self):
+        aplv = APLV(5)
+        aplv.add_primary({1, 3})
+        assert aplv[1] == 1
+        assert aplv[3] == 1
+        assert aplv[0] == 0
+        assert aplv.l1_norm == 2
+
+    def test_overlapping_primaries_accumulate(self):
+        aplv = APLV(5)
+        aplv.add_primary({1, 3})
+        aplv.add_primary({3, 4})
+        assert aplv[3] == 2
+        assert aplv.max_element == 2
+        assert aplv.l1_norm == 4
+
+    def test_remove_primary_decrements(self):
+        aplv = APLV(5)
+        aplv.add_primary({1, 3})
+        aplv.add_primary({3, 4})
+        aplv.remove_primary({1, 3})
+        assert aplv[1] == 0
+        assert aplv[3] == 1
+        assert aplv.l1_norm == 2
+
+    def test_remove_unregistered_raises_and_leaves_state(self):
+        aplv = APLV(5)
+        aplv.add_primary({1})
+        with pytest.raises(APLVError):
+            aplv.remove_primary({1, 2})
+        # atomic: position 1 untouched by the failed removal
+        assert aplv[1] == 1
+
+    def test_position_bounds_checked(self):
+        aplv = APLV(3)
+        with pytest.raises(APLVError):
+            aplv.add_primary({3})
+        with pytest.raises(APLVError):
+            aplv.element(-1)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(APLVError):
+            APLV(0)
+
+    def test_copy_is_independent(self):
+        aplv = APLV(4)
+        aplv.add_primary({0, 1})
+        clone = aplv.copy()
+        clone.add_primary({2})
+        assert aplv[2] == 0
+        assert clone[2] == 1
+        assert aplv != clone
+
+    def test_equality(self):
+        a, b = APLV(4), APLV(4)
+        a.add_primary({1, 2})
+        b.add_primary({1, 2})
+        assert a == b
+
+    def test_support_and_nonzero_items(self):
+        aplv = APLV(6)
+        aplv.add_primary({0, 5})
+        aplv.add_primary({5})
+        assert aplv.support() == {0, 5}
+        assert dict(aplv.nonzero_items()) == {0: 1, 5: 2}
+
+    def test_conflict_count(self):
+        aplv = APLV(6)
+        aplv.add_primary({1, 2, 3})
+        assert aplv.conflict_count({2, 3, 4}) == 2
+        assert aplv.conflict_count({4, 5}) == 0
+
+
+class TestPaperFigure2Example:
+    """Reproduce Section 3.2's worked CV/APLV example numerically.
+
+    Figure 2 has two DR-connections whose backups share L6:
+    PSET_6 = {P1, P2}; from their LSETs, CV_6 =
+    (1,0,1,0,0,0,0,1,0,0,0,1,1) — bits at the positions of both
+    primaries' links.
+    """
+
+    def test_cv6_bit_pattern(self):
+        num_links = 13
+        # Positions are 0-based: the paper's L1 is index 0, etc.
+        lset_p1 = {0, 7, 12}   # L1, L8, L13
+        lset_p2 = {2, 11}      # L3, L12
+        aplv6 = APLV(num_links)
+        aplv6.add_primary(lset_p1)
+        aplv6.add_primary(lset_p2)
+        cv6 = ConflictVector.from_aplv(aplv6)
+        assert cv6.to_dense() == (1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 1)
+
+    def test_aplv7_from_figure1(self):
+        """Figure 1 text: APLV_7 = (0,0,0,0,0,0,0,1,0,0,1,1,2) with
+        PSET_7 = {P1, P3}, LSET_P1 = {L8, L12, L13}, LSET_P3 =
+        {L11, L13} (1-based in the paper)."""
+        aplv7 = APLV(13)
+        aplv7.add_primary({7, 11, 12})  # P1: L8, L12, L13
+        aplv7.add_primary({10, 12})     # P3: L11, L13
+        assert aplv7.to_dense() == (0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 1, 2)
+        assert aplv7.l1_norm == 5
+        assert aplv7.max_element == 2
+
+
+class TestConflictVector:
+    def test_from_aplv_projects_support(self):
+        aplv = APLV(5)
+        aplv.add_primary({1, 3})
+        aplv.add_primary({3})
+        cv = ConflictVector.from_aplv(aplv)
+        assert cv.bits == {1, 3}
+        assert cv[3] == 1
+        assert cv[0] == 0
+
+    def test_conflict_count_matches_aplv_support(self):
+        aplv = APLV(8)
+        aplv.add_primary({1, 2, 3})
+        cv = ConflictVector.from_aplv(aplv)
+        assert cv.conflict_count({2, 3, 7}) == 2
+        assert cv.conflicts_with({3})
+        assert not cv.conflicts_with({0, 7})
+
+    def test_immutability_snapshot(self):
+        aplv = APLV(4)
+        aplv.add_primary({0})
+        cv = ConflictVector.from_aplv(aplv)
+        aplv.add_primary({1})
+        assert cv.bits == {0}  # snapshot unaffected by later updates
+
+    def test_bounds_checked(self):
+        with pytest.raises(APLVError):
+            ConflictVector(3, {5})
+        cv = ConflictVector(3, {1})
+        with pytest.raises(APLVError):
+            cv.is_set(3)
+
+    def test_popcount_and_dense(self):
+        cv = ConflictVector(4, {0, 2})
+        assert cv.popcount() == 2
+        assert cv.to_dense() == (1, 0, 1, 0)
+
+    def test_equality_and_hash(self):
+        assert ConflictVector(4, {1}) == ConflictVector(4, {1})
+        assert hash(ConflictVector(4, {1})) == hash(ConflictVector(4, {1}))
+        assert ConflictVector(4, {1}) != ConflictVector(5, {1})

@@ -1,0 +1,97 @@
+"""Tests for the link-state database and advertisement sizing."""
+
+import math
+
+import pytest
+
+from repro.network import (
+    LinkStateDatabase,
+    NetworkState,
+    ResourceError,
+    database_costs,
+    dlsr_record_bytes,
+    full_aplv_record_bytes,
+    plain_record_bytes,
+    plsr_record_bytes,
+)
+from repro.topology import ring_network
+
+
+@pytest.fixture
+def state():
+    return NetworkState(ring_network(4, 10.0))
+
+
+class TestLiveDatabase:
+    def test_reads_track_state(self, state):
+        db = LinkStateDatabase(state)
+        assert db.aplv_l1(0) == 0
+        state.ledger(0).register_backup(1, {2, 3}, 1.0)
+        assert db.aplv_l1(0) == 2
+        assert db.conflict_vector(0).bits == {2, 3}
+
+    def test_headrooms_track_state(self, state):
+        db = LinkStateDatabase(state)
+        state.ledger(1).reserve_primary(4.0)
+        state.ledger(1).set_spare(2.0)
+        assert db.primary_headroom(1) == pytest.approx(4.0)
+        assert db.backup_headroom(1) == pytest.approx(6.0)
+
+    def test_conflict_count_shortcut(self, state):
+        db = LinkStateDatabase(state)
+        state.ledger(0).register_backup(1, {2, 3}, 1.0)
+        assert db.conflict_count(0, {3, 5}) == 1
+        assert db.conflict_count(0, frozenset()) == 0
+
+
+class TestSnapshotDatabase:
+    def test_reads_frozen_until_refresh(self, state):
+        db = LinkStateDatabase(state, live=False)
+        state.ledger(0).register_backup(1, {2}, 1.0)
+        assert db.aplv_l1(0) == 0  # stale
+        db.refresh()
+        assert db.aplv_l1(0) == 1
+
+    def test_snapshot_headrooms(self, state):
+        db = LinkStateDatabase(state, live=False)
+        state.ledger(0).reserve_primary(5.0)
+        assert db.primary_headroom(0) == pytest.approx(10.0)
+        db.refresh()
+        assert db.primary_headroom(0) == pytest.approx(5.0)
+
+    def test_bad_link_id(self, state):
+        db = LinkStateDatabase(state, live=False)
+        with pytest.raises(ResourceError):
+            db.aplv_l1(999)
+
+
+class TestAdvertisementSizes:
+    def test_record_ordering(self):
+        n = 180
+        assert plain_record_bytes() < plsr_record_bytes()
+        assert plsr_record_bytes() < dlsr_record_bytes(n)
+        assert dlsr_record_bytes(n) < full_aplv_record_bytes(n)
+
+    def test_plsr_adds_one_word(self):
+        assert plsr_record_bytes() - plain_record_bytes() == 4
+
+    def test_dlsr_adds_bit_vector(self):
+        assert dlsr_record_bytes(16) - plain_record_bytes() == 2
+        assert dlsr_record_bytes(17) - plain_record_bytes() == 3
+
+    def test_full_aplv_adds_n_words(self):
+        assert full_aplv_record_bytes(10) - plain_record_bytes() == 40
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            dlsr_record_bytes(0)
+        with pytest.raises(ValueError):
+            full_aplv_record_bytes(-1)
+
+    def test_database_costs_ratios(self):
+        costs = database_costs(180)
+        # Section 3's scalability argument: full APLV is quadratic,
+        # D-LSR's bit vectors much smaller, P-LSR near-constant.
+        assert costs.full_over_plain > costs.dlsr_over_plain > 1.0
+        assert costs.plsr_over_plain < costs.dlsr_over_plain
+        assert costs.plain == 180 * plain_record_bytes()

@@ -1,0 +1,213 @@
+"""Tests that pin the paper's worked examples and headline claims.
+
+These encode Figures 1–3 and the Section 2/5 semantics as executable
+specifications; if a refactor changes the meaning of conflicts,
+multiplexing or detouring, these fail first.
+"""
+
+import pytest
+
+from repro.core import (
+    ACTIVATED,
+    DRTPService,
+    SPARE_EXHAUSTED,
+    SharedSparePolicy,
+)
+from repro.network import APLV, ConflictVector, NetworkState
+from repro.routing import (
+    DLSRScheme,
+    DisjointBackupScheme,
+    RouteQuery,
+    RoutingContext,
+)
+from repro.routing.base import RoutePlan
+from repro.topology import Route, mesh_network, mesh_node, network_from_edges
+
+
+class _Scripted:
+    """Planner with fixed routes for staging the figures."""
+
+    name = "scripted"
+
+    def __init__(self, plans):
+        self._plans = iter(plans)
+
+    def bind(self, context):
+        self.context = context
+
+    def plan(self, query):
+        return next(self._plans)
+
+
+class TestFigure1Multiplexing:
+    """Figure 1: three DR-connections on a 3x3 mesh.
+
+    * B1 and B2 share a link, but P1 and P2 are disjoint -> a single
+      failure activates at most one of them; sharing one unit of spare
+      is safe.
+    * B1 and B3 share a link, and P1 and P3 overlap -> a failure of
+      the shared primary link activates both; with spare for one, one
+      loses.
+    """
+
+    @pytest.fixture
+    def staged(self):
+        net = mesh_network(3, 3, capacity=10.0)
+        n = lambda r, c: mesh_node(3, 3, r, c)
+        route = lambda nodes: Route.from_nodes(net, nodes)
+        p1 = route([n(0, 0), n(0, 1), n(0, 2)])
+        b1 = route([n(0, 0), n(1, 0), n(1, 1), n(1, 2), n(0, 2)])
+        p2 = route([n(2, 0), n(2, 1), n(2, 2)])
+        b2 = route([n(2, 0), n(1, 0), n(1, 1), n(1, 2), n(2, 2)])
+        p3 = route([n(0, 1), n(0, 2)])
+        b3 = route([n(0, 1), n(1, 1), n(1, 2), n(0, 2)])
+        service = DRTPService(
+            net,
+            _Scripted(
+                [
+                    RoutePlan(primary=p1, backup=b1),
+                    RoutePlan(primary=p2, backup=b2),
+                    RoutePlan(primary=p3, backup=b3),
+                ]
+            ),
+        )
+        for primary in (p1, p2, p3):
+            assert service.request(
+                primary.source, primary.destination, 1.0
+            ).accepted
+        return net, service, (p1, b1, p2, b2, p3, b3)
+
+    def test_disjoint_primaries_share_spare_safely(self, staged):
+        net, service, (p1, b1, p2, b2, p3, b3) = staged
+        shared = (b1.lset & b2.lset) - b3.lset
+        assert shared, "B1 and B2 must share a link B3 avoids"
+        ledger = service.state.ledger(next(iter(shared)))
+        # Two backups, one unit of spare: P1 and P2 are disjoint so no
+        # position of the APLV exceeds 1.
+        assert ledger.backup_count == 2
+        assert ledger.aplv.max_element == 1
+        assert ledger.spare_bw == pytest.approx(1.0)
+
+    def test_single_failure_of_disjoint_primaries_recovers(self, staged):
+        net, service, (p1, b1, p2, b2, *_rest) = staged
+        for link_id in p2.link_ids:
+            impact = service.assess_link_failure(link_id)
+            assert impact.affected == 1
+            assert impact.activated == 1
+
+    def test_overlapping_primaries_force_bigger_spare(self, staged):
+        net, service, (p1, b1, p2, b2, p3, b3) = staged
+        conflict_links = b1.lset & b3.lset
+        assert conflict_links
+        for link_id in conflict_links:
+            ledger = service.state.ledger(link_id)
+            # P1 and P3 overlap -> APLV element 2 -> spare sized 2.
+            assert ledger.aplv.max_element == 2
+            assert ledger.spare_bw == pytest.approx(2.0)
+
+    def test_capped_spare_loses_one_backup(self, staged):
+        """The paper's L7 story: spare for one connection only."""
+        net, service, (p1, b1, p2, b2, p3, b3) = staged
+        shared_primary = p1.lset & p3.lset
+        assert shared_primary
+        conflict_link = next(iter(b1.lset & b3.lset))
+        service.state.ledger(conflict_link).set_spare(1.0)
+        impact = service.assess_link_failure(next(iter(shared_primary)))
+        assert impact.affected == 2
+        assert impact.activated == 1
+        reasons = sorted(o.reason for o in impact.outcomes)
+        assert reasons == [ACTIVATED, SPARE_EXHAUSTED]
+
+
+class TestFigure2ConflictVector:
+    def test_cv6_matches_paper_vector(self):
+        """CV_6 = (1,0,1,0,0,0,0,1,0,0,0,1,1) from LSET_P1 =
+        {L1, L8, L13}, LSET_P2 = {L3, L12} (1-based)."""
+        aplv = APLV(13)
+        aplv.add_primary({0, 7, 12})
+        aplv.add_primary({2, 11})
+        assert ConflictVector.from_aplv(aplv).to_dense() == (
+            1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 1,
+        )
+
+
+class TestFigure3Detour:
+    """D-LSR detours around a conflicted corridor that a
+    conflict-blind scheme would walk straight into."""
+
+    @pytest.fixture
+    def corridor_net(self):
+        edges = [
+            (0, 1), (1, 2),
+            (3, 4), (4, 5),
+            (6, 7), (7, 8),
+            (0, 3), (3, 6),
+            (1, 4), (4, 7),
+            (2, 5), (5, 8),
+        ]
+        return network_from_edges(9, edges, capacity=10.0)
+
+    def test_dlsr_avoids_conflicted_corridor(self, corridor_net):
+        net = corridor_net
+        route = lambda nodes: Route.from_nodes(net, nodes)
+        service = DRTPService(
+            net,
+            _Scripted(
+                [
+                    RoutePlan(
+                        primary=route([6, 7, 8]),
+                        backup=route([6, 3, 4, 5, 8]),
+                    ),
+                    RoutePlan(
+                        primary=route([0, 1, 2]),
+                        backup=route([0, 3, 4, 5, 2]),
+                    ),
+                ]
+            ),
+        )
+        assert service.request(6, 8, 1.0).accepted
+        assert service.request(0, 2, 1.0).accepted
+
+        context = service.scheme.context
+        query = RouteQuery(7, 8, 1.0)
+
+        blind = DisjointBackupScheme()
+        blind.bind(context)
+        dlsr = DLSRScheme()
+        dlsr.bind(context)
+        blind_plan = blind.plan(query)
+        dlsr_plan = dlsr.plan(query)
+
+        def conflicts(plan):
+            return sum(
+                service.database.conflict_count(b, plan.primary.lset)
+                for b in plan.backup.link_ids
+            )
+
+        assert conflicts(dlsr_plan) < conflicts(blind_plan)
+        assert dlsr_plan.backup.hop_count >= blind_plan.backup.hop_count
+
+
+class TestSectionClaims:
+    def test_backup_carries_no_bandwidth_until_activated(self):
+        """Section 2: backups consume no dedicated resources; spare is
+        shared.  Two disjoint-primary connections crossing one link
+        reserve one unit of spare, not two."""
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        service.request(0, 2, 1.0)
+        service.request(6, 8, 1.0)
+        total_backup_hops = sum(
+            conn.backup_route.hop_count for conn in service.connections()
+        )
+        # Strictly less spare than dedicated reservations would need.
+        assert service.state.total_spare_bw() < total_backup_hops * 1.0
+
+    def test_conflicting_backups_multiplexed_not_rejected(self):
+        """Section 5's choice (2): when spare cannot grow, the new
+        backup still registers on the existing spare."""
+        net = mesh_network(3, 3, 2.0)
+        state_service = DRTPService(net, DLSRScheme())
+        first = state_service.request(0, 2, 1.0)
+        second = state_service.request(0, 2, 1.0)
+        assert first.accepted and second.accepted

@@ -1,0 +1,138 @@
+"""Tests for ASCII charting and structured tracing."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+from repro.core import DRTPService
+from repro.routing import DLSRScheme
+from repro.simulation import Tracer, TracingService
+from repro.simulation.tracing import (
+    ADMITTED,
+    LINK_FAILED,
+    RECOVERY,
+    REJECTED,
+    RELEASED,
+    TraceEvent,
+)
+from repro.topology import line_network, mesh_network
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [0.2, 0.4, 0.6],
+            {"D-LSR": [0.99, 0.98, 0.97], "BF": [0.94, 0.94, 0.95]},
+            title="FT",
+        )
+        assert "FT" in chart
+        assert "legend:" in chart
+        assert "o D-LSR" in chart
+        assert "x BF" in chart
+
+    def test_extreme_points_on_grid(self):
+        chart = ascii_chart([0.0, 1.0], {"s": [0.0, 1.0]}, width=20,
+                            height=10)
+        lines = chart.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        # Max lands on the top row, min on the bottom row.
+        assert "o" in plot_rows[0]
+        assert "o" in plot_rows[-1]
+
+    def test_y_range_override(self):
+        chart = ascii_chart([0, 1], {"s": [0.5, 0.5]}, y_min=0.0, y_max=1.0)
+        assert "1" in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1]}, width=2)
+
+    def test_flat_series_does_not_crash(self):
+        ascii_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+
+    def test_many_series_cycle_markers(self):
+        series = {"s{}".format(i): [i, i + 1] for i in range(10)}
+        chart = ascii_chart([0, 1], series)
+        assert "legend:" in chart
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", x=1)
+        tracer.record(2.0, "b", y=2)
+        assert len(tracer) == 2
+        assert tracer.events("a")[0].details == {"x": 1}
+        assert tracer.counts() == {"a": 1, "b": 1}
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=["keep"])
+        tracer.record(0.0, "keep")
+        tracer.record(0.0, "drop")
+        assert tracer.counts() == {"keep": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.5, "admitted", connection=7)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        events = Tracer.read_jsonl(path)
+        assert events == [
+            TraceEvent(time=1.5, kind="admitted", details={"connection": 7})
+        ]
+
+
+class TestTracingService:
+    @pytest.fixture
+    def traced(self):
+        service = DRTPService(mesh_network(3, 3, 10.0), DLSRScheme())
+        tracer = Tracer()
+        return TracingService(service, tracer), tracer
+
+    def test_admission_traced(self, traced):
+        service, tracer = traced
+        service.at(10.0)
+        decision = service.admit(_request(0, 0, 8))
+        assert decision.accepted
+        event = tracer.events(ADMITTED)[0]
+        assert event.time == 10.0
+        assert event.details["source"] == 0
+        assert event.details["backups"] == 1
+
+    def test_rejection_traced(self):
+        service = DRTPService(line_network(3, 1.0), DLSRScheme())
+        traced = TracingService(service, Tracer())
+        traced.admit(_request(0, 0, 2))   # takes the only path (no backup)
+        assert traced.tracer.events(REJECTED)
+        # (line network: no distinct backup route exists at all)
+
+    def test_release_and_failure_traced(self, traced):
+        service, tracer = traced
+        decision = service.admit(_request(0, 0, 8))
+        service.at(20.0).fail_link(
+            decision.connection.primary_route.link_ids[0]
+        )
+        assert tracer.events(LINK_FAILED)[0].details["activated"] == 1
+        recovery = tracer.events(RECOVERY)[0]
+        assert recovery.details["success"] is True
+        service.at(30.0).release(decision.connection.connection_id)
+        assert tracer.events(RELEASED)[0].time == 30.0
+
+    def test_pass_through(self, traced):
+        service, _ = traced
+        assert service.active_connection_count == 0
+        assert service.network.num_nodes == 9
+
+
+def _request(request_id, source, destination, bw=1.0):
+    from repro.core import ConnectionRequest
+
+    return ConnectionRequest(
+        request_id=request_id, source=source, destination=destination,
+        bw_req=bw,
+    )

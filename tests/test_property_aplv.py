@@ -1,0 +1,90 @@
+"""Property-based tests for APLV / Conflict-Vector invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import APLV, ConflictVector
+
+NUM_LINKS = 16
+
+lsets = st.frozensets(
+    st.integers(min_value=0, max_value=NUM_LINKS - 1), min_size=1, max_size=6
+)
+
+
+@given(st.lists(lsets, max_size=12))
+def test_l1_norm_is_sum_of_elements(lset_list):
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    assert aplv.l1_norm == sum(aplv.to_dense())
+    assert aplv.l1_norm == sum(len(lset) for lset in lset_list)
+
+
+@given(st.lists(lsets, max_size=12))
+def test_max_element_bounds(lset_list):
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    assert aplv.max_element <= len(lset_list)
+    if lset_list:
+        assert aplv.max_element >= 1
+    # Each registration contributes at most 1 per position.
+    assert all(v <= len(lset_list) for v in aplv.to_dense())
+
+
+@given(st.lists(lsets, min_size=1, max_size=10), st.data())
+def test_add_remove_round_trip(lset_list, data):
+    """Removing every registered LSET (in any order) restores zero."""
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    order = data.draw(st.permutations(range(len(lset_list))))
+    for index in order:
+        aplv.remove_primary(lset_list[index])
+    assert aplv.is_zero()
+    assert aplv.l1_norm == 0
+
+
+@given(st.lists(lsets, max_size=10), lsets)
+def test_partial_removal_matches_fresh_build(lset_list, removed):
+    """remove(add(S), s) == build(S \\ occurrence of s)."""
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    aplv.add_primary(removed)
+    aplv.remove_primary(removed)
+    fresh = APLV(NUM_LINKS)
+    for lset in lset_list:
+        fresh.add_primary(lset)
+    assert aplv == fresh
+
+
+@given(st.lists(lsets, max_size=12), lsets)
+def test_cv_conflict_count_matches_aplv(lset_list, probe):
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    cv = ConflictVector.from_aplv(aplv)
+    assert cv.conflict_count(probe) == aplv.conflict_count(probe)
+    assert cv.bits == aplv.support()
+    assert cv.popcount() == len(aplv.support())
+
+
+@given(st.lists(lsets, max_size=12))
+def test_cv_dense_is_indicator_of_aplv_dense(lset_list):
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    cv = ConflictVector.from_aplv(aplv)
+    assert cv.to_dense() == tuple(
+        1 if v > 0 else 0 for v in aplv.to_dense()
+    )
+
+
+@given(st.lists(lsets, max_size=12))
+def test_copy_equality_semantics(lset_list):
+    aplv = APLV(NUM_LINKS)
+    for lset in lset_list:
+        aplv.add_primary(lset)
+    assert aplv.copy() == aplv

@@ -1,0 +1,68 @@
+"""Tests for the Bellman–Ford distance-vector computation."""
+
+import random
+
+import pytest
+
+from repro.routing import bellman_ford_vectors, next_hop_table
+from repro.topology import (
+    all_pairs_hop_counts,
+    line_network,
+    mesh_network,
+    ring_network,
+    waxman_network,
+)
+from repro.topology.distance import UNREACHABLE
+from repro.topology.graph import Network
+
+
+class TestBellmanFord:
+    def test_matches_bfs_on_mesh(self):
+        net = mesh_network(3, 4, 1.0)
+        vectors, _ = bellman_ford_vectors(net)
+        assert vectors == all_pairs_hop_counts(net)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_bfs_on_waxman(self, seed):
+        net = waxman_network(25, 1.0, rng=random.Random(seed))
+        vectors, _ = bellman_ford_vectors(net)
+        assert vectors == all_pairs_hop_counts(net)
+
+    def test_convergence_rounds_bounded_by_diameter(self):
+        net = line_network(6, 1.0)  # diameter 5
+        _, rounds = bellman_ford_vectors(net)
+        assert rounds <= 6  # diameter + the final no-change round
+
+    def test_unreachable_stays_infinite(self):
+        net = Network(3)
+        net.add_edge(0, 1, 1.0)
+        net.freeze()
+        vectors, _ = bellman_ford_vectors(net)
+        assert vectors[0][2] == UNREACHABLE
+
+    def test_max_rounds_truncation(self):
+        net = line_network(6, 1.0)
+        vectors, rounds = bellman_ford_vectors(net, max_rounds=1)
+        assert rounds == 1
+        assert vectors[0][1] == 1
+        assert vectors[0][5] == UNREACHABLE  # not yet propagated
+
+
+class TestNextHops:
+    def test_next_hop_advances_toward_destination(self):
+        net = mesh_network(3, 3, 1.0)
+        vectors, _ = bellman_ford_vectors(net)
+        for node in net.nodes():
+            table = next_hop_table(net, node)
+            for dest, nxt in table.items():
+                assert vectors[nxt][dest] == vectors[node][dest] - 1
+
+    def test_next_hop_deterministic_lowest_id(self):
+        net = ring_network(4, 1.0)
+        table = next_hop_table(net, 0)
+        # destination 2 is equidistant via 1 and 3: lowest id wins.
+        assert table[2] == 1
+
+    def test_no_entry_for_self(self):
+        table = next_hop_table(ring_network(4, 1.0), 0)
+        assert 0 not in table

@@ -1,0 +1,196 @@
+"""Tests for the bounded-flooding scheme (CDP / PCT / CRT mechanics)."""
+
+import pytest
+
+from repro.network import NetworkState
+from repro.routing import (
+    BFParameters,
+    BoundedFloodingScheme,
+    RouteQuery,
+    RoutingContext,
+)
+from repro.routing.flooding import CRTEntry
+from repro.topology import Route, line_network, mesh_network, ring_network
+from repro.topology.graph import Network
+
+
+def bound_bf(network, parameters=None):
+    scheme = BoundedFloodingScheme(parameters=parameters)
+    state = NetworkState(network)
+    scheme.bind(RoutingContext(network, state))
+    return scheme, state
+
+
+class TestBFParameters:
+    def test_defaults_match_paper(self):
+        params = BFParameters()
+        assert (params.rho, params.p, params.alpha, params.beta) == (
+            1.0, 2, 1.0, 2,
+        )
+
+    def test_hop_limit_formula(self):
+        params = BFParameters(rho=1.5, p=1)
+        assert params.hop_limit(4) == 7  # floor(1.5*4) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BFParameters(rho=0.5)
+        with pytest.raises(ValueError):
+            BFParameters(p=-1)
+        with pytest.raises(ValueError):
+            BFParameters(alpha=0.9)
+        with pytest.raises(ValueError):
+            BFParameters(beta=-2)
+
+
+class TestFloodMechanics:
+    def test_all_candidates_within_hop_limit(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        result = scheme.flood(RouteQuery(0, 8, 1.0))
+        limit = BFParameters().hop_limit(4)
+        assert result.candidates
+        assert all(c.hop_count <= limit for c in result.candidates)
+
+    def test_candidates_are_loop_free(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        result = scheme.flood(RouteQuery(0, 8, 1.0))
+        for entry in result.candidates:
+            nodes = entry.route.nodes
+            assert len(set(nodes)) == len(nodes)
+
+    def test_candidates_distinct(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        result = scheme.flood(RouteQuery(0, 8, 1.0))
+        paths = [entry.route.nodes for entry in result.candidates]
+        assert len(paths) == len(set(paths))
+
+    def test_zero_slack_finds_only_shortest(self):
+        net = ring_network(6, 10.0)
+        scheme, _ = bound_bf(net, BFParameters(p=0, beta=0))
+        result = scheme.flood(RouteQuery(0, 2, 1.0))
+        assert {c.hop_count for c in result.candidates} == {2}
+
+    def test_wider_bound_grows_flood(self):
+        net = mesh_network(3, 3, 10.0)
+        narrow, _ = bound_bf(net, BFParameters(p=0, beta=0))
+        wide, _ = bound_bf(net, BFParameters(p=3, beta=3))
+        q = RouteQuery(0, 8, 1.0)
+        narrow_result = narrow.flood(q)
+        wide_result = wide.flood(q)
+        assert (
+            wide_result.cdp_transmissions > narrow_result.cdp_transmissions
+        )
+        assert len(wide_result.candidates) >= len(narrow_result.candidates)
+
+    def test_unreachable_destination_empty(self):
+        net = Network(3)
+        net.add_edge(0, 1, 10.0)
+        net.freeze()
+        scheme, _ = bound_bf(net)
+        result = scheme.flood(RouteQuery(0, 2, 1.0))
+        assert result.candidates == []
+        assert result.cdp_transmissions == 0
+
+    def test_bandwidth_test_blocks_saturated_link(self):
+        """A link with no backup headroom must not be flooded across."""
+        net = ring_network(4, 1.0)
+        scheme, state = bound_bf(net)
+        blocked = net.link_between(0, 1).link_id
+        state.ledger(blocked).reserve_primary(1.0)
+        result = scheme.flood(RouteQuery(0, 1, 1.0))
+        for entry in result.candidates:
+            assert blocked not in entry.route.lset
+
+    def test_primary_flag_cleared_by_spare_only_link(self):
+        """A link whose free bandwidth is all spare passes the backup
+        bandwidth test but must clear primary_flag."""
+        net = line_network(2, 2.0)
+        scheme, state = bound_bf(net)
+        state.ledger(0).reserve_primary(1.0)
+        state.ledger(0).set_spare(1.0)  # free now 0, headroom 1
+        result = scheme.flood(RouteQuery(0, 1, 1.0))
+        assert len(result.candidates) == 1
+        assert result.candidates[0].primary_flag is False
+
+    def test_message_count_positive_and_bounded(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        result = scheme.flood(RouteQuery(0, 8, 1.0))
+        assert 0 < result.cdp_transmissions < 10_000
+
+
+class TestSelection:
+    def _entry(self, net, nodes, flag=True):
+        route = Route.from_nodes(net, nodes)
+        return CRTEntry(
+            primary_flag=flag, hop_count=route.hop_count, route=route
+        )
+
+    def test_primary_is_shortest_flagged(self):
+        net = mesh_network(3, 3, 10.0)
+        candidates = [
+            self._entry(net, [0, 3, 4, 5, 8], flag=True),
+            self._entry(net, [0, 1, 2, 5, 8], flag=True),
+            self._entry(net, [0, 3, 6, 7, 8], flag=False),
+        ]
+        primary, backup = BoundedFloodingScheme.select_routes(candidates)
+        assert primary.hop_count == 4
+        assert backup is not None
+
+    def test_unflagged_cannot_be_primary(self):
+        net = line_network(3, 10.0)
+        candidates = [self._entry(net, [0, 1, 2], flag=False)]
+        primary, backup = BoundedFloodingScheme.select_routes(candidates)
+        assert primary is None
+        assert backup is None
+
+    def test_backup_minimizes_overlap_then_length(self):
+        net = mesh_network(3, 3, 10.0)
+        primary_nodes = [0, 1, 2, 5, 8]
+        candidates = [
+            self._entry(net, primary_nodes, flag=True),
+            # shares links 0->1,1->2 with the primary but short:
+            self._entry(net, [0, 1, 2, 5, 8][:3] + [5, 8], flag=True),
+            # fully disjoint but longer:
+            self._entry(net, [0, 3, 6, 7, 8], flag=True),
+        ]
+        primary, backup = BoundedFloodingScheme.select_routes(candidates)
+        assert primary.nodes == tuple(primary_nodes)
+        assert backup.nodes == (0, 3, 6, 7, 8)
+
+    def test_single_candidate_no_backup(self):
+        net = line_network(3, 10.0)
+        candidates = [self._entry(net, [0, 1, 2], flag=True)]
+        primary, backup = BoundedFloodingScheme.select_routes(candidates)
+        assert primary is not None
+        assert backup is None
+
+
+class TestPlan:
+    def test_plan_counts_messages(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        plan = scheme.plan(RouteQuery(0, 8, 1.0))
+        assert plan.accepted
+        assert plan.control_messages > 0
+        assert plan.candidates_considered >= 2
+
+    def test_plan_backup_against_established_primary(self):
+        net = mesh_network(3, 3, 10.0)
+        scheme, _ = bound_bf(net)
+        primary = Route.from_nodes(net, [0, 1, 2, 5, 8])
+        backup = scheme.plan_backup(RouteQuery(0, 8, 1.0), primary)
+        assert backup is not None
+        assert backup.lset != primary.lset
+
+    def test_plan_rejects_when_no_primary_capacity(self):
+        net = line_network(3, 1.0)
+        scheme, state = bound_bf(net)
+        for ledger in state.ledgers():
+            ledger.reserve_primary(0.5)
+            ledger.set_spare(0.5)
+        plan = scheme.plan(RouteQuery(0, 2, 1.0))
+        assert plan.primary is None

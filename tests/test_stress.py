@@ -1,0 +1,115 @@
+"""Randomized stress tests: long operation interleavings, every
+scheme, with full invariant checking and resource conservation."""
+
+import random
+
+import pytest
+
+from repro.core import DRTPService
+from repro.routing import (
+    BoundedFloodingScheme,
+    DisjointBackupScheme,
+    DLSRScheme,
+    PLSRScheme,
+)
+from repro.topology import waxman_network
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        lambda: DLSRScheme(),
+        lambda: PLSRScheme(),
+        lambda: BoundedFloodingScheme(),
+        lambda: DisjointBackupScheme(),
+        lambda: DLSRScheme(num_backups=2),
+    ],
+    ids=["dlsr", "plsr", "bf", "disjoint", "dlsr-k2"],
+)
+def test_long_random_interleaving(scheme_factory):
+    net = waxman_network(24, 8.0, rng=random.Random(77))
+    service = DRTPService(net, scheme_factory())
+    rng = random.Random(123)
+    live = []
+    failed = []
+    stats = {"requests": 0, "failures": 0, "releases": 0, "repairs": 0}
+    for step in range(300):
+        roll = rng.random()
+        if roll < 0.55:
+            a, b = rng.randrange(24), rng.randrange(24)
+            if a != b:
+                decision = service.request(a, b, 1.0)
+                stats["requests"] += 1
+                if decision.accepted:
+                    live.append(decision.connection.connection_id)
+        elif roll < 0.85 and live:
+            cid = live.pop(rng.randrange(len(live)))
+            if service.has_connection(cid):
+                service.release(cid)
+                stats["releases"] += 1
+        elif roll < 0.95:
+            candidates = service.links_carrying_primaries()
+            if candidates:
+                link = rng.choice(candidates)
+                if not service.state.is_link_failed(link):
+                    service.fail_link(link, reconfigure=True)
+                    failed.append(link)
+                    stats["failures"] += 1
+        elif failed:
+            service.repair_link(failed.pop(rng.randrange(len(failed))))
+            stats["repairs"] += 1
+        if step % 25 == 0:
+            service.check_invariants()
+    service.check_invariants()
+    assert stats["requests"] > 50  # the run actually exercised things
+
+    # Total teardown conserves every unit of bandwidth.
+    for conn in list(service.connections()):
+        service.release(conn.connection_id)
+    assert service.state.total_prime_bw() < 1e-6
+    assert service.state.total_spare_bw() < 1e-6
+    for ledger in service.state.ledgers():
+        assert ledger.backup_count == 0
+        assert ledger.aplv.is_zero()
+
+
+@pytest.mark.slow
+def test_assessments_stable_under_churn():
+    """Interleave assessments with mutations: assessments stay pure
+    and deterministic given identical state."""
+    net = waxman_network(20, 10.0, rng=random.Random(3))
+    service = DRTPService(net, DLSRScheme())
+    rng = random.Random(3)
+    for _ in range(60):
+        a, b = rng.randrange(20), rng.randrange(20)
+        if a != b:
+            service.request(a, b, 1.0)
+    for link_id in service.links_carrying_primaries()[:20]:
+        first = service.assess_link_failure(link_id)
+        second = service.assess_link_failure(link_id)
+        assert [o.reason for o in first.outcomes] == [
+            o.reason for o in second.outcomes
+        ]
+    for node in range(20):
+        service.assess_node_failure(node)
+    service.check_invariants()
+
+
+@pytest.mark.slow
+def test_qos_service_under_churn():
+    net = waxman_network(20, 10.0, rng=random.Random(5))
+    service = DRTPService(net, DLSRScheme(), qos_slack=2)
+    rng = random.Random(5)
+    for _ in range(150):
+        a, b = rng.randrange(20), rng.randrange(20)
+        if a != b:
+            service.request(a, b, 1.0)
+    # Every admitted route respects its QoS bound.
+    tables = service.scheme.context.distance_tables
+    for conn in service.connections():
+        bound = tables[conn.source].distance(conn.destination) + 2
+        assert conn.primary_route.hop_count <= bound
+        for channel in conn.all_backups:
+            assert channel.route.hop_count <= bound
+    service.check_invariants()

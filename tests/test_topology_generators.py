@@ -1,0 +1,224 @@
+"""Tests for the topology generators (Waxman, meshes, auxiliary)."""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    WaxmanParameters,
+    complete_network,
+    hexagonal_mesh_network,
+    line_network,
+    mesh_network,
+    mesh_node,
+    random_regular_network,
+    ring_network,
+    star_network,
+    torus_network,
+    waxman_network,
+)
+from repro.topology.waxman import _find_bridges
+
+
+class TestWaxman:
+    def test_requested_size_and_connectivity(self):
+        net = waxman_network(30, 5.0, rng=random.Random(1))
+        assert net.num_nodes == 30
+        assert net.is_connected()
+
+    def test_degree_calibration_hits_target(self):
+        for degree in (3.0, 4.0):
+            net = waxman_network(
+                60,
+                1.0,
+                parameters=WaxmanParameters(target_degree=degree),
+                rng=random.Random(3),
+            )
+            assert net.average_degree() == pytest.approx(degree, abs=0.15)
+
+    def test_survivable_networks_have_no_bridges(self):
+        for seed in range(3):
+            net = waxman_network(40, 1.0, rng=random.Random(seed))
+            edges = {
+                (min(l.src, l.dst), max(l.src, l.dst)) for l in net.links()
+            }
+            assert _find_bridges(net.num_nodes, edges) == set()
+            assert min(net.degree(n) for n in net.nodes()) >= 2
+
+    def test_non_survivable_allows_bridges(self):
+        params = WaxmanParameters(target_degree=2.2, survivable=False)
+        nets = [
+            waxman_network(25, 1.0, parameters=params, rng=random.Random(s))
+            for s in range(5)
+        ]
+        # At this sparse degree, at least one of five draws has a bridge.
+        bridged = 0
+        for net in nets:
+            edges = {
+                (min(l.src, l.dst), max(l.src, l.dst)) for l in net.links()
+            }
+            if _find_bridges(net.num_nodes, edges):
+                bridged += 1
+        assert bridged >= 1
+
+    def test_deterministic_given_seeded_rng(self):
+        a = waxman_network(20, 1.0, rng=random.Random(9))
+        b = waxman_network(20, 1.0, rng=random.Random(9))
+        assert [l.endpoints() for l in a.links()] == [
+            l.endpoints() for l in b.links()
+        ]
+
+    def test_capacity_applied_to_all_links(self):
+        net = waxman_network(15, 12.5, rng=random.Random(2))
+        assert all(link.capacity == 12.5 for link in net.links())
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(TopologyError):
+            waxman_network(1, 1.0)
+
+    def test_rejects_impossible_degree(self):
+        with pytest.raises(TopologyError):
+            waxman_network(
+                5,
+                1.0,
+                parameters=WaxmanParameters(target_degree=10.0),
+                rng=random.Random(0),
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            WaxmanParameters(alpha=0.0)
+        with pytest.raises(TopologyError):
+            WaxmanParameters(beta=1.5)
+        with pytest.raises(TopologyError):
+            WaxmanParameters(target_degree=-1)
+
+
+class TestBridgeFinding:
+    def test_path_graph_all_bridges(self):
+        assert _find_bridges(4, {(0, 1), (1, 2), (2, 3)}) == {
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        }
+
+    def test_cycle_no_bridges(self):
+        assert _find_bridges(4, {(0, 1), (1, 2), (2, 3), (0, 3)}) == set()
+
+    def test_cycle_with_pendant(self):
+        edges = {(0, 1), (1, 2), (2, 3), (0, 3), (3, 4)}
+        assert _find_bridges(5, edges) == {(3, 4)}
+
+    def test_two_cycles_joined_by_bridge(self):
+        edges = {
+            (0, 1), (1, 2), (0, 2),        # triangle A
+            (3, 4), (4, 5), (3, 5),        # triangle B
+            (2, 3),                        # the bridge
+        }
+        assert _find_bridges(6, edges) == {(2, 3)}
+
+
+class TestMeshes:
+    def test_mesh_dimensions(self):
+        net = mesh_network(3, 3, 1.0)
+        assert net.num_nodes == 9
+        assert net.num_edges == 12  # 2*3*2 horizontal+vertical
+        assert net.is_connected()
+
+    def test_mesh_node_mapping(self):
+        assert mesh_node(3, 3, 1, 2) == 5
+        with pytest.raises(TopologyError):
+            mesh_node(3, 3, 3, 0)
+
+    def test_mesh_corner_degree(self):
+        net = mesh_network(3, 3, 1.0)
+        assert net.degree(0) == 2        # corner
+        assert net.degree(4) == 4        # center
+
+    def test_mesh_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            mesh_network(1, 1, 1.0)
+
+    def test_torus_every_node_degree_four(self):
+        net = torus_network(3, 4, 1.0)
+        assert all(net.degree(n) == 4 for n in net.nodes())
+        assert net.is_connected()
+
+    def test_torus_rejects_small_dims(self):
+        with pytest.raises(TopologyError):
+            torus_network(2, 5, 1.0)
+
+    def test_hexagonal_mesh_size_formula(self):
+        for dimension in (2, 3, 4):
+            net = hexagonal_mesh_network(dimension, 1.0)
+            assert net.num_nodes == 3 * dimension * (dimension - 1) + 1
+            assert net.is_connected()
+
+    def test_hexagonal_mesh_center_degree_six(self):
+        net = hexagonal_mesh_network(3, 1.0)
+        degrees = sorted(net.degree(n) for n in net.nodes())
+        assert degrees[-1] == 6  # interior nodes reach full degree
+
+    def test_hexagonal_rejects_dimension_one(self):
+        with pytest.raises(TopologyError):
+            hexagonal_mesh_network(1, 1.0)
+
+
+class TestAuxiliaryGenerators:
+    def test_ring(self):
+        net = ring_network(6, 1.0)
+        assert net.num_edges == 6
+        assert all(net.degree(n) == 2 for n in net.nodes())
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring_network(2, 1.0)
+
+    def test_line(self):
+        net = line_network(4, 1.0)
+        assert net.num_edges == 3
+        assert net.degree(0) == 1
+
+    def test_complete(self):
+        net = complete_network(5, 1.0)
+        assert net.num_edges == 10
+        assert all(net.degree(n) == 4 for n in net.nodes())
+
+    def test_star(self):
+        net = star_network(5, 1.0)
+        assert net.degree(0) == 4
+        assert all(net.degree(n) == 1 for n in range(1, 5))
+
+    def test_random_regular_degrees(self):
+        net = random_regular_network(12, 3, 1.0, rng=random.Random(4))
+        assert all(net.degree(n) == 3 for n in net.nodes())
+        assert net.is_connected()
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(TopologyError):
+            random_regular_network(5, 3, 1.0)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(TopologyError):
+            random_regular_network(4, 4, 1.0)
+        with pytest.raises(TopologyError):
+            random_regular_network(4, 1, 1.0)
+
+
+class TestWaxmanExplicitBeta:
+    def test_explicit_beta_skips_calibration(self):
+        import random as random_module
+
+        from repro.topology import WaxmanParameters, waxman_network
+
+        net = waxman_network(
+            30,
+            1.0,
+            parameters=WaxmanParameters(beta=0.9, target_degree=4.0),
+            rng=random_module.Random(11),
+        )
+        # With beta pinned high the trim step still enforces the
+        # degree target.
+        assert net.average_degree() == pytest.approx(4.0, abs=0.2)
+        assert net.is_connected()
