@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench campaign campaign-paper examples clean
+.PHONY: install test bench campaign campaign-paper chaos-quick examples clean
 
 install:
 	pip install -e '.[test]'
@@ -16,6 +16,10 @@ campaign:
 
 campaign-paper:
 	python -m repro.experiments.run_all --scale paper
+
+chaos-quick:
+	python -m repro chaos --rows 6 --cols 6 --rate 1.5 --duration 120 \
+		--intensity 4 --seed 7 --verify
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done

@@ -59,7 +59,9 @@ from .core import (
     DRConnection,
     DRTPService,
     FailureImpact,
+    FaultInjectionError,
     SharedSparePolicy,
+    SimulationError,
 )
 from .simulation import (
     Scenario,
@@ -68,9 +70,17 @@ from .simulation import (
     generate_scenario,
 )
 from .analysis import (
+    ChaosReport,
     FaultToleranceObserver,
     SpareShareObserver,
     capacity_overhead_percent,
+)
+from .faults import (
+    CampaignConfig,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    run_campaign,
 )
 
 __version__ = "1.0.0"
@@ -110,6 +120,8 @@ __all__ = [
     "SharedSparePolicy",
     "DedicatedSparePolicy",
     "FailureImpact",
+    "SimulationError",
+    "FaultInjectionError",
     # simulation
     "Scenario",
     "generate_scenario",
@@ -119,4 +131,11 @@ __all__ = [
     "FaultToleranceObserver",
     "SpareShareObserver",
     "capacity_overhead_percent",
+    "ChaosReport",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "CampaignConfig",
+    "run_campaign",
 ]

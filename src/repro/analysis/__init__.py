@@ -25,6 +25,7 @@ from .messages import (
     routing_overhead,
 )
 from .saturation import SaturationCurve, build_curve
+from .chaos_report import ChaosReport
 from .report import format_series, format_table
 from .plot import ascii_chart
 from .hotspots import (
@@ -55,6 +56,7 @@ __all__ = [
     "CDP_BYTES",
     "SaturationCurve",
     "build_curve",
+    "ChaosReport",
     "format_table",
     "format_series",
     "ascii_chart",

@@ -8,7 +8,10 @@ Commands:
   printing acceptance, fault tolerance and overhead-relevant stats;
 * ``assess``  — load a topology, establish random DR-connections, and
   sweep single-link (or node) failures;
-* ``campaign`` — alias for ``python -m repro.experiments.run_all``.
+* ``campaign`` — alias for ``python -m repro.experiments.run_all``;
+* ``chaos``   — run a fault-injection chaos campaign (lossy signaling,
+  router crashes, link flaps, correlated bursts, stale link state)
+  and report recovery latency, retries and residual unprotection.
 
 Every command is deterministic given its ``--seed``; topology and
 scenario files round-trip through the serializers in
@@ -104,6 +107,33 @@ def build_parser() -> argparse.ArgumentParser:
                       default="quick")
     camp.add_argument("--seed", type=int, default=7)
     camp.add_argument("--skip-ablations", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection chaos campaign"
+    )
+    chaos.add_argument("--rows", type=int, default=8, help="mesh rows")
+    chaos.add_argument("--cols", type=int, default=8, help="mesh cols")
+    chaos.add_argument("--capacity", type=float, default=30.0)
+    chaos.add_argument("--scheme", choices=SCHEME_CHOICES, default="D-LSR")
+    chaos.add_argument("--rate", type=float, default=2.0,
+                       help="Poisson arrival rate (connections/second)")
+    chaos.add_argument("--duration", type=float, default=600.0,
+                       help="simulated seconds")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--plan", default=None,
+                       help="fault-plan JSON (default: every fault family "
+                       "at baseline intensity)")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="scale the default plan's fault rates")
+    chaos.add_argument("--retry-interval", type=float, default=5.0,
+                       help="background backup re-establishment cadence")
+    chaos.add_argument("--report", default=None,
+                       help="also write the report as JSON here")
+    chaos.add_argument("--trace", default=None,
+                       help="write a JSON-lines event trace here")
+    chaos.add_argument("--verify", action="store_true",
+                       help="run the campaign twice and assert the "
+                       "reports are bit-for-bit identical")
 
     return parser
 
@@ -236,6 +266,47 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import CampaignConfig, FaultPlan, run_campaign
+    from .simulation import Tracer
+
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = FaultPlan.everything(intensity=args.intensity)
+    config = CampaignConfig(
+        rows=args.rows,
+        cols=args.cols,
+        capacity=args.capacity,
+        scheme=args.scheme,
+        arrival_rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        backup_retry_interval=args.retry_interval,
+    )
+    tracer = Tracer() if args.trace else None
+    report = run_campaign(plan, config, tracer=tracer)
+    if args.verify:
+        rerun = run_campaign(plan, config)
+        if rerun.to_dict() != report.to_dict():
+            print("NOT REPRODUCIBLE: two runs of seed {} differ".format(
+                args.seed), file=sys.stderr)
+            return 1
+        print("reproducible: two runs of seed {} are identical".format(
+            args.seed))
+    print(report.format())
+    if args.trace:
+        tracer.write_jsonl(args.trace)
+        print("wrote {} trace events to {}".format(len(tracer), args.trace))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print("wrote report to {}".format(args.report))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "topology":
@@ -246,6 +317,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_replay(args)
     if args.command == "assess":
         return _cmd_assess(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "campaign":
         campaign_argv: List[str] = ["--scale", args.scale,
                                     "--seed", str(args.seed)]

@@ -21,7 +21,7 @@ then counts against the scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..network.state import BW_EPSILON, NetworkState
@@ -33,6 +33,7 @@ from .multiplexing import SparePolicy
 from .signaling import (
     BackupRegisterPacket,
     BackupReleasePacket,
+    RegistrationResult,
     register_backup_path,
     release_backup_path,
 )
@@ -40,13 +41,23 @@ from .signaling import (
 
 @dataclass
 class AdmissionDecision:
-    """The controller's verdict on one request."""
+    """The controller's verdict on one request.
+
+    ``degraded`` marks a connection admitted *unprotected* because
+    backup signaling exhausted its retries under injected faults (not
+    because resources were missing) — the caller is expected to queue
+    it for background backup re-establishment (Section 2.3 under
+    adversity).  ``registrations`` collects the signaling outcome of
+    every backup walk attempted, for fault/retry accounting.
+    """
 
     request: ConnectionRequest
     plan: RoutePlan
     connection: Optional[DRConnection] = None
     reason: str = "ok"
     backup_registration_deficit: float = 0.0
+    degraded: bool = False
+    registrations: List[RegistrationResult] = field(default_factory=list)
 
     @property
     def accepted(self) -> bool:
@@ -69,10 +80,25 @@ class AdmissionController:
         state: NetworkState,
         spare_policy: SparePolicy,
         require_backup: bool = True,
+        injector=None,
+        retry_policy=None,
+        degrade_on_fault: Optional[bool] = None,
     ) -> None:
+        """``injector``/``retry_policy`` subject backup signaling to
+        fault injection with retransmission (see
+        :mod:`repro.core.signaling`).  ``degrade_on_fault`` (default:
+        on whenever an injector is present) admits a connection
+        unprotected when its backup signaling exhausts retries, instead
+        of rejecting it — the decision is flagged ``degraded`` so the
+        service can re-establish the backup in the background."""
         self._state = state
         self._policy = spare_policy
         self._require_backup = require_backup
+        self._injector = injector
+        self._retry_policy = retry_policy
+        if degrade_on_fault is None:
+            degrade_on_fault = injector is not None
+        self._degrade_on_fault = degrade_on_fault
         self._next_seq = 0
 
     @property
@@ -105,13 +131,22 @@ class AdmissionController:
                 primary_lset=plan.primary.lset,
                 bw_req=request.bw_req,
             )
-            registration = register_backup_path(self._state, self._policy, packet)
+            registration = register_backup_path(
+                self._state, self._policy, packet,
+                self._injector, self._retry_policy,
+            )
+            decision.registrations.append(registration)
             if not registration.success:
-                if self._require_backup:
+                if registration.gave_up and self._degrade_on_fault:
+                    # Signaling faults, not resources, defeated the
+                    # backup: admit unprotected and let the service
+                    # re-establish protection in the background.
+                    decision.degraded = True
+                elif self._require_backup:
                     self._release_primary(plan.primary, request.bw_req)
                     decision.reason = REASON_BACKUP_REGISTRATION
                     return decision
-                # Admitted unprotected: primary stands, backup dropped.
+                # Otherwise admitted unprotected: primary stands.
             else:
                 decision.backup_registration_deficit = registration.total_deficit
                 backup_channel = Channel(
@@ -129,8 +164,10 @@ class AdmissionController:
                         backup_index=index,
                     )
                     outcome = register_backup_path(
-                        self._state, self._policy, extra
+                        self._state, self._policy, extra,
+                        self._injector, self._retry_policy,
                     )
+                    decision.registrations.append(outcome)
                     if outcome.success:
                         decision.backup_registration_deficit += (
                             outcome.total_deficit

@@ -21,3 +21,13 @@ class RecoveryError(DRTPError):
 
 class ConnectionStateError(DRTPError):
     """An operation was attempted in an invalid connection state."""
+
+
+class SimulationError(DRTPError):
+    """A simulation run was driven incorrectly (e.g. events scheduled
+    in the past)."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault plan or injector is malformed, or an injected fault left
+    the system in a state it promised it would not."""

@@ -109,12 +109,23 @@ class DRConnectionManager:
 
 @dataclass
 class WalkResult:
-    """Outcome of a hop-by-hop signaling walk."""
+    """Outcome of a hop-by-hop signaling walk.
+
+    The fault-accounting fields mirror
+    :class:`~repro.core.signaling.RegistrationResult` and only move
+    when the control plane was built with a fault injector.
+    """
 
     success: bool
     messages: int = 0
     rejected_link: Optional[int] = None
     resizes: List[ResizeOutcome] = field(default_factory=list)
+    attempts: int = 1
+    drops: int = 0
+    duplicates: int = 0
+    crashes: int = 0
+    delay: float = 0.0
+    gave_up: bool = False
 
 
 class DistributedControlPlane:
@@ -125,13 +136,24 @@ class DistributedControlPlane:
     quantity a deployment would see on the wire for connection
     management (reported next to BF's CDP counts by the overhead
     analysis).
+
+    With a ``injector``/``retry_policy`` pair the register walks become
+    lossy (drop/duplicate/delay/crash per the injector's plan) and the
+    plane retransmits like a real signaling source: timeout, idempotent
+    source-initiated release of the partial walk, retry.  Every message
+    of every attempt — including the unwind walks — lands in
+    ``messages_sent``, which is exactly the retry amplification a
+    deployment would pay on the wire.
     """
 
     def __init__(
-        self, network: Network, state: NetworkState, policy: SparePolicy
+        self, network: Network, state: NetworkState, policy: SparePolicy,
+        injector=None, retry_policy=None,
     ) -> None:
         self.network = network
         self.state = state
+        self.injector = injector
+        self.retry_policy = retry_policy
         self.routers: Dict[int, DRConnectionManager] = {
             node: DRConnectionManager(node, network, state, policy)
             for node in network.nodes()
@@ -176,7 +198,10 @@ class DistributedControlPlane:
     # ------------------------------------------------------------------
     def register_backup(self, packet: BackupRegisterPacket) -> WalkResult:
         """Walk a register packet; a rejecting router answers with a
-        release packet that unwinds upstream registrations."""
+        release packet that unwinds upstream registrations.  Under
+        fault injection the walk retries per the retry policy."""
+        if self.injector is not None:
+            return self._register_backup_faulty(packet)
         result = WalkResult(success=True)
         registered: List[int] = []
         for link_id in packet.backup_route.link_ids:
@@ -212,3 +237,78 @@ class DistributedControlPlane:
             messages += 1
         self.messages_sent += messages
         return messages
+
+    # ------------------------------------------------------------------
+    # Faulty signaling (drop/duplicate/delay/crash + retransmission)
+    # ------------------------------------------------------------------
+    def _register_backup_faulty(self, packet: BackupRegisterPacket) -> WalkResult:
+        result = WalkResult(success=False)
+        result.attempts = 0
+        while True:
+            result.attempts += 1
+            status = self._faulty_walk_once(packet, result)
+            if status != "faulted":
+                self.messages_sent += result.messages
+                return result
+            self._unwind_partial(packet, result)
+            if self.retry_policy is None or self.retry_policy.gives_up(
+                result.attempts, result.delay
+            ):
+                result.gave_up = True
+                self.messages_sent += result.messages
+                return result
+            result.delay += self.retry_policy.backoff(
+                result.attempts, self.injector.retry_rng
+            )
+
+    def _faulty_walk_once(self, packet: BackupRegisterPacket, result: WalkResult) -> str:
+        route = packet.backup_route.link_ids
+        crash_at = self.injector.crash_hop(len(route))
+        result.resizes = []
+        result.success = False
+        for hop, link_id in enumerate(route):
+            event, delay = self.injector.sample_hop()
+            result.delay += delay
+            result.messages += 1
+            if event == "drop":
+                result.drops += 1
+                return "faulted"
+            if event == "duplicate":
+                result.duplicates += 1
+                result.messages += 1
+            router = self.routers[self.network.link(link_id).src]
+            ledger = self.state.ledger(link_id)
+            if ledger.has_backup(packet.registration_key):
+                # Duplicate delivery (possibly of an earlier attempt's
+                # surviving registration): absorbed idempotently.
+                outcome = None
+            else:
+                outcome = router.handle_register(packet, link_id)
+                if outcome is None:
+                    self._unwind_partial(packet, result)
+                    result.rejected_link = link_id
+                    result.resizes = []
+                    return "rejected"
+            if outcome is not None:
+                result.resizes.append(outcome)
+            if crash_at == hop:
+                result.crashes += 1
+                return "faulted"
+        result.success = True
+        return "ok"
+
+    def _unwind_partial(self, packet: BackupRegisterPacket, result: WalkResult) -> None:
+        """Source-initiated idempotent release of a partial walk: one
+        message per hop of the full route (the source cannot know how
+        far the register packet got)."""
+        release = BackupReleasePacket(
+            connection_id=packet.connection_id,
+            backup_route=packet.backup_route,
+            primary_lset=packet.primary_lset,
+            backup_index=packet.backup_index,
+        )
+        for link_id in packet.backup_route.link_ids:
+            result.messages += 1
+            if self.state.ledger(link_id).has_backup(packet.registration_key):
+                router = self.routers[self.network.link(link_id).src]
+                router.handle_release(release, link_id)

@@ -27,9 +27,11 @@ from ..network.state import NetworkState
 from ..routing.base import RouteQuery, RoutingContext, RoutingScheme
 from ..topology.graph import Network
 from .admission import AdmissionController, AdmissionDecision
-from .connection import ConnectionRequest, DRConnection
+from .channel import Channel, ChannelRole
+from .connection import ConnectionRequest, ConnectionState, DRConnection
 from .errors import ConnectionStateError
 from .multiplexing import SharedSparePolicy, SparePolicy
+from .signaling import BackupRegisterPacket, register_backup_path
 from .recovery import (
     FailureImpact,
     apply_link_failure,
@@ -42,7 +44,14 @@ from .recovery import (
 
 @dataclass
 class ServiceCounters:
-    """Cumulative service-level statistics."""
+    """Cumulative service-level statistics.
+
+    The ``signaling_*`` block only moves under fault injection: it
+    accumulates what the backup-register walks survived (retries,
+    drops, crashes, duplicate deliveries, injected latency), and the
+    degraded-admission ledger tracks Section 2.3 backup
+    re-establishment under adversity.
+    """
 
     requests: int = 0
     accepted: int = 0
@@ -53,6 +62,16 @@ class ServiceCounters:
     backups_with_overlap: int = 0
     primary_hops_total: int = 0
     backup_hops_total: int = 0
+    degraded_admissions: int = 0
+    backups_reestablished: int = 0
+    reestablish_attempts: int = 0
+    signaling_walks: int = 0
+    signaling_retries: int = 0
+    signaling_drops: int = 0
+    signaling_crashes: int = 0
+    signaling_duplicates: int = 0
+    signaling_gave_up: int = 0
+    signaling_delay: float = 0.0
 
     @property
     def acceptance_ratio(self) -> float:
@@ -62,6 +81,17 @@ class ServiceCounters:
 
     def record_rejection(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def record_signaling(self, registration) -> None:
+        """Fold one backup walk's fault accounting into the totals."""
+        self.signaling_walks += 1
+        self.signaling_retries += registration.retries
+        self.signaling_drops += registration.drops
+        self.signaling_crashes += registration.crashes
+        self.signaling_duplicates += registration.duplicates
+        self.signaling_delay += registration.delay
+        if registration.gave_up:
+            self.signaling_gave_up += 1
 
 
 class DRTPService:
@@ -76,6 +106,8 @@ class DRTPService:
         database: Optional[LinkStateDatabase] = None,
         live_database: bool = True,
         qos_slack: Optional[int] = None,
+        fault_injector=None,
+        retry_policy=None,
     ) -> None:
         """``live_database=False`` routes from periodically-refreshed
         snapshots instead of instantly-converged link state — the
@@ -87,7 +119,17 @@ class DRTPService:
         ``qos_slack`` models a delay QoS: every connection's routes
         (primary and backups) are bounded to ``min_hop_distance +
         qos_slack`` hops.  ``None`` (the paper's evaluation setting)
-        leaves route lengths unbounded."""
+        leaves route lengths unbounded.
+
+        ``fault_injector`` (a
+        :class:`~repro.faults.injector.FaultInjector`) makes backup
+        signaling lossy; ``retry_policy`` (a
+        :class:`~repro.faults.retry.RetryPolicy`) governs
+        retransmission.  With an injector present, a request whose
+        backup signaling exhausts its retries is admitted *unprotected*
+        and queued — drive :meth:`reestablish_backup` (the simulator
+        and chaos runner schedule it) to restore its protection in the
+        background."""
         self.network = network
         self.state = NetworkState(network)
         if database is not None:
@@ -100,10 +142,17 @@ class DRTPService:
         if qos_slack is not None and qos_slack < 0:
             raise ValueError("qos_slack must be >= 0 when given")
         self.qos_slack = qos_slack
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self._admission = AdmissionController(
-            self.state, self.spare_policy, require_backup=require_backup
+            self.state,
+            self.spare_policy,
+            require_backup=require_backup,
+            injector=fault_injector,
+            retry_policy=retry_policy,
         )
         self._connections: Dict[int, DRConnection] = {}
+        self._pending_backup: set = set()
         self._next_request_id = 0
         self.counters = ServiceCounters()
 
@@ -146,11 +195,16 @@ class DRTPService:
         )
         self.counters.control_messages += plan.control_messages
         decision = self._admission.admit(req, plan)
+        for registration in decision.registrations:
+            self.counters.record_signaling(registration)
         if decision.accepted:
             connection = decision.connection
             assert connection is not None
             self._connections[connection.connection_id] = connection
             self.counters.accepted += 1
+            if decision.degraded:
+                self.counters.degraded_admissions += 1
+                self._pending_backup.add(connection.connection_id)
             overlap = connection.backup_overlap_with_primary()
             if overlap:
                 self.counters.backups_with_overlap += 1
@@ -183,8 +237,82 @@ class DRTPService:
             raise ConnectionStateError(
                 "no active connection with id {}".format(connection_id)
             )
+        self._pending_backup.discard(connection_id)
         self._admission.release(connection)
         self.counters.released += 1
+
+    # ------------------------------------------------------------------
+    # Degraded-mode protection (Section 2.3 under adversity)
+    # ------------------------------------------------------------------
+    def pending_backup_ids(self) -> List[int]:
+        """Connections admitted (or left) unprotected and queued for
+        background backup re-establishment.  Entries whose connection
+        departed, died, or regained protection by other means are
+        pruned on read."""
+        stale = set()
+        for connection_id in self._pending_backup:
+            conn = self._connections.get(connection_id)
+            if conn is None or not conn.is_active or conn.backup is not None:
+                stale.add(connection_id)
+        self._pending_backup -= stale
+        return sorted(self._pending_backup)
+
+    def queue_backup_reestablishment(self, connection_id: int) -> bool:
+        """Enqueue an active unprotected connection for background
+        re-protection (used after failures leave survivors bare)."""
+        conn = self._connections.get(connection_id)
+        if conn is None or not conn.is_active or conn.backup is not None:
+            return False
+        self._pending_backup.add(connection_id)
+        return True
+
+    def reestablish_backup(self, connection_id: int) -> bool:
+        """One background attempt to restore a queued connection's
+        protection: plan a fresh backup against the standing primary
+        and register it (under the service's fault injector and retry
+        policy, if any).
+
+        Returns True when the connection is protected afterwards —
+        including "already was" — and False when it remains
+        unprotected (caller reschedules) or no longer exists."""
+        conn = self._connections.get(connection_id)
+        if conn is None or not conn.is_active:
+            self._pending_backup.discard(connection_id)
+            return False
+        if conn.backup is not None:
+            self._pending_backup.discard(connection_id)
+            return True
+        self.counters.reestablish_attempts += 1
+        backup = self.scheme.plan_backup(
+            RouteQuery(
+                conn.source,
+                conn.destination,
+                conn.bw_req,
+                max_hops=self._qos_bound(conn.source, conn.destination),
+            ),
+            conn.primary_route,
+        )
+        if backup is None or backup.lset == conn.primary_route.lset:
+            return False
+        packet = BackupRegisterPacket(
+            connection_id=conn.connection_id,
+            backup_route=backup,
+            primary_lset=conn.primary_route.lset,
+            bw_req=conn.bw_req,
+        )
+        registration = register_backup_path(
+            self.state, self.spare_policy, packet,
+            self.fault_injector, self.retry_policy,
+        )
+        self.counters.record_signaling(registration)
+        if not registration.success:
+            return False
+        conn.backup = Channel(role=ChannelRole.BACKUP, route=backup)
+        if conn.state is ConnectionState.UNPROTECTED:
+            conn.state = ConnectionState.ACTIVE
+        self._pending_backup.discard(connection_id)
+        self.counters.backups_reestablished += 1
+        return True
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -276,6 +404,14 @@ class DRTPService:
     @property
     def active_connection_count(self) -> int:
         return len(self._connections)
+
+    def unprotected_ids(self) -> List[int]:
+        """Active connections currently running without a backup."""
+        return sorted(
+            conn.connection_id
+            for conn in self._connections.values()
+            if conn.is_active and conn.backup is None
+        )
 
     def connections(self) -> Iterator[DRConnection]:
         return iter(self._connections.values())

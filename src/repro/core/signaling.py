@@ -21,6 +21,18 @@ A router that rejects the request answers with a *backup-release
 packet* (also carrying the primary's ``LSET``) that unwinds the
 registrations made upstream.  :func:`register_backup_path` performs
 the walk and the unwind atomically from the caller's perspective.
+
+Under fault injection (:mod:`repro.faults`) the walk stops being
+atomic: register packets can be dropped or duplicated between hops,
+and a router can crash right after registering — both strand *partial*
+registrations along the route.  :func:`register_backup_path` then
+behaves like a real signaling source: its timeout fires, it sends an
+idempotent source-initiated release (:func:`unwind_backup_path`) that
+rolls the partial walk back exactly, and it retries under the caller's
+:class:`~repro.faults.retry.RetryPolicy` until success, a genuine
+resource rejection, or exhaustion.  Duplicated deliveries are absorbed
+by checking the link's backup table before registering, so signaling
+is idempotent end to end.
 """
 
 from __future__ import annotations
@@ -82,12 +94,26 @@ class BackupReleasePacket:
 
 @dataclass
 class RegistrationResult:
-    """Outcome of walking a register packet along the backup route."""
+    """Outcome of walking a register packet along the backup route.
+
+    The fault-accounting fields stay at their defaults for the
+    fault-free walk; under injection they record what the signaling
+    survived: ``attempts`` counts walks (1 = no retry), ``gave_up``
+    distinguishes "retries exhausted by faults" from a genuine
+    resource rejection (``rejected_link`` set), and ``delay``
+    accumulates injected signaling latency plus retry backoff.
+    """
 
     success: bool
     rejected_link: Optional[int] = None
     resizes: List[ResizeOutcome] = field(default_factory=list)
     hops_signaled: int = 0
+    attempts: int = 1
+    drops: int = 0
+    duplicates: int = 0
+    crashes: int = 0
+    delay: float = 0.0
+    gave_up: bool = False
 
     @property
     def total_deficit(self) -> float:
@@ -95,13 +121,39 @@ class RegistrationResult:
         route; positive means conflicting backups were multiplexed."""
         return sum(outcome.deficit for outcome in self.resizes)
 
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
 
 def register_backup_path(
     state: NetworkState,
     policy: SparePolicy,
     packet: BackupRegisterPacket,
+    injector=None,
+    retry_policy=None,
 ) -> RegistrationResult:
-    """Walk the register packet hop by hop; unwind on rejection."""
+    """Walk the register packet hop by hop; unwind on rejection.
+
+    ``injector`` (a :class:`~repro.faults.injector.FaultInjector`)
+    subjects the walk to drop/duplicate/delay/crash faults;
+    ``retry_policy`` (a :class:`~repro.faults.retry.RetryPolicy`)
+    governs retransmission after a faulted walk.  Without an injector
+    the walk is the paper's atomic register/unwind and never retries.
+    A faulted walk with no retry policy is unwound and reported with
+    ``gave_up=True`` after the single attempt.
+    """
+    if injector is None:
+        return _register_walk(state, policy, packet)
+    return _register_with_faults(state, policy, packet, injector, retry_policy)
+
+
+def _register_walk(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+) -> RegistrationResult:
+    """The fault-free atomic walk."""
     result = RegistrationResult(success=True)
     registered: List[int] = []
     for link_id in packet.backup_route.link_ids:
@@ -122,6 +174,86 @@ def register_backup_path(
     return result
 
 
+def _register_with_faults(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+    injector,
+    retry_policy,
+) -> RegistrationResult:
+    """Lossy register walk with retransmission.
+
+    Each attempt walks until success, a resource rejection, or an
+    injected fault (drop or router crash).  Faulted attempts leave
+    partial registrations — exactly what a real crash or loss leaves —
+    which the source-side unwind then rolls back idempotently before
+    the next attempt, so retries always start from clean state and the
+    caller can never observe a half-registered backup.
+    """
+    result = RegistrationResult(success=False)
+    result.attempts = 0
+    while True:
+        result.attempts += 1
+        status = _walk_once(state, policy, packet, injector, result)
+        if status != _FAULTED:
+            return result
+        unwind_backup_path(state, policy, packet)
+        if retry_policy is None or retry_policy.gives_up(
+            result.attempts, result.delay
+        ):
+            result.gave_up = True
+            return result
+        result.delay += retry_policy.backoff(result.attempts, injector.retry_rng)
+
+
+#: Internal walk statuses.
+_OK = "ok"
+_REJECTED = "rejected"
+_FAULTED = "faulted"
+
+
+def _walk_once(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+    injector,
+    result: RegistrationResult,
+) -> str:
+    """One lossy walk attempt; mutates ``result`` fault accounting."""
+    route = packet.backup_route.link_ids
+    crash_at = injector.crash_hop(len(route))
+    result.resizes = []
+    result.success = False
+    for hop, link_id in enumerate(route):
+        event, delay = injector.sample_hop()
+        result.delay += delay
+        result.hops_signaled += 1
+        if event == "drop":
+            result.drops += 1
+            return _FAULTED
+        if event == "duplicate":
+            # Second delivery of the same packet: one more message on
+            # the wire; the registration below absorbs it idempotently.
+            result.duplicates += 1
+            result.hops_signaled += 1
+        ledger = state.ledger(link_id)
+        if not ledger.has_backup(packet.registration_key):
+            if ledger.backup_headroom() + BW_EPSILON < packet.bw_req:
+                unwind_backup_path(state, policy, packet)
+                result.rejected_link = link_id
+                result.resizes = []
+                return _REJECTED
+            ledger.register_backup(
+                packet.registration_key, packet.primary_lset, packet.bw_req
+            )
+        result.resizes.append(policy.resize(ledger))
+        if crash_at == hop:
+            result.crashes += 1
+            return _FAULTED
+    result.success = True
+    return _OK
+
+
 def release_backup_path(
     state: NetworkState,
     policy: SparePolicy,
@@ -135,6 +267,32 @@ def release_backup_path(
         ledger.release_backup(packet.registration_key)
         outcomes.append(policy.resize(ledger))
     return outcomes
+
+
+def unwind_backup_path(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+) -> int:
+    """Source-initiated idempotent unwind of a (possibly partial) walk.
+
+    After a drop or router crash the source does not know how far its
+    register packet got, so the recovery release must be safe against
+    every prefix: it walks the whole route and releases only the links
+    that actually hold this packet's registration.  Calling it twice —
+    or against a route that never registered anywhere — is a no-op,
+    which is what makes crashed walks safely retryable.
+
+    Returns the number of registrations released.
+    """
+    released = 0
+    for link_id in packet.backup_route.link_ids:
+        ledger = state.ledger(link_id)
+        if ledger.has_backup(packet.registration_key):
+            ledger.release_backup(packet.registration_key)
+            policy.resize(ledger)
+            released += 1
+    return released
 
 
 def _unwind(

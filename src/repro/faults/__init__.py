@@ -1,0 +1,52 @@
+"""Fault injection for the DRTP control plane.
+
+Declarative plans (:mod:`~repro.faults.plan`), a deterministic
+seed-driven injector (:mod:`~repro.faults.injector`), retransmission
+policy (:mod:`~repro.faults.retry`) and the chaos-campaign runner
+(:mod:`~repro.faults.chaos`).
+"""
+
+from .chaos import CampaignConfig, run_campaign
+from .injector import (
+    BURST_DOWN,
+    BURST_UP,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FLAP_DOWN,
+    FLAP_UP,
+    REFRESH,
+    STALENESS,
+    FaultInjector,
+    TimedFault,
+)
+from .plan import (
+    FailureBurstFaults,
+    FaultPlan,
+    LinkFlapFaults,
+    SignalingFaults,
+    StalenessFaults,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "SignalingFaults",
+    "LinkFlapFaults",
+    "FailureBurstFaults",
+    "StalenessFaults",
+    "FaultInjector",
+    "TimedFault",
+    "RetryPolicy",
+    "CampaignConfig",
+    "run_campaign",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "FLAP_DOWN",
+    "FLAP_UP",
+    "BURST_DOWN",
+    "BURST_UP",
+    "STALENESS",
+    "REFRESH",
+]

@@ -1,0 +1,255 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` says *what adversity* a chaos campaign subjects
+the control plane to — never *when*; the when is sampled by the
+seed-driven :class:`~repro.faults.injector.FaultInjector`, so one plan
+plus one seed is a bit-for-bit reproducible campaign.  Plans
+round-trip through JSON so a failing campaign can be archived and
+replayed.
+
+Fault families (all opt-in, all independently tunable):
+
+* **signaling** — per-hop drop/delay/duplication of backup-path
+  register packets, plus router crashes mid-walk that strand partial
+  registrations;
+* **flaps** — single links going down and coming back;
+* **bursts** — correlated multi-link failures (a shared conduit or a
+  line card taking several links of one switch down at once);
+* **staleness** — bounded link-state staleness: the database serves a
+  frozen snapshot until the next re-flood.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..core.errors import FaultInjectionError
+
+_FORMAT_VERSION = 1
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultInjectionError(
+            "{} must be a probability in [0, 1], got {}".format(name, value)
+        )
+
+
+def _check_rate(name: str, value: float) -> None:
+    if value < 0.0:
+        raise FaultInjectionError(
+            "{} must be non-negative, got {}".format(name, value)
+        )
+
+
+@dataclass(frozen=True)
+class SignalingFaults:
+    """Lossy backup-path signaling.
+
+    ``drop_prob``/``delay_prob``/``duplicate_prob`` apply per hop of a
+    register-packet walk; ``crash_prob`` applies per walk and models a
+    router dying right after registering the backup on its link —
+    upstream registrations stand until the source's timeout triggers
+    the idempotent unwind.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_min: float = 0.0
+    delay_max: float = 0.0
+    duplicate_prob: float = 0.0
+    crash_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "delay_prob", "duplicate_prob", "crash_prob"):
+            _check_prob(name, getattr(self, name))
+        if self.delay_min < 0 or self.delay_max < self.delay_min:
+            raise FaultInjectionError(
+                "need 0 <= delay_min <= delay_max, got [{}, {}]".format(
+                    self.delay_min, self.delay_max
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            (self.drop_prob, self.delay_prob, self.duplicate_prob,
+             self.crash_prob)
+        )
+
+
+@dataclass(frozen=True)
+class LinkFlapFaults:
+    """Independent single-link down/up cycles, Poisson at ``rate``
+    flaps per simulated second network-wide; down time is uniform in
+    ``[down_min, down_max]`` seconds."""
+
+    rate: float = 0.0
+    down_min: float = 1.0
+    down_max: float = 10.0
+
+    def __post_init__(self) -> None:
+        _check_rate("flap rate", self.rate)
+        if self.down_min <= 0 or self.down_max < self.down_min:
+            raise FaultInjectionError(
+                "need 0 < down_min <= down_max, got [{}, {}]".format(
+                    self.down_min, self.down_max
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
+class FailureBurstFaults:
+    """Correlated multi-link failure bursts.
+
+    At each Poisson burst instant, between ``size_min`` and
+    ``size_max`` links fail simultaneously.  ``correlated=True`` draws
+    them from the links adjacent to one randomly chosen switch (the
+    shared-fate failure mode of a line card or conduit cut);
+    ``False`` draws them uniformly from the whole network.
+    """
+
+    rate: float = 0.0
+    size_min: int = 2
+    size_max: int = 4
+    down_min: float = 5.0
+    down_max: float = 30.0
+    correlated: bool = True
+
+    def __post_init__(self) -> None:
+        _check_rate("burst rate", self.rate)
+        if self.size_min < 1 or self.size_max < self.size_min:
+            raise FaultInjectionError(
+                "need 1 <= size_min <= size_max, got [{}, {}]".format(
+                    self.size_min, self.size_max
+                )
+            )
+        if self.down_min <= 0 or self.down_max < self.down_min:
+            raise FaultInjectionError(
+                "need 0 < down_min <= down_max, got [{}, {}]".format(
+                    self.down_min, self.down_max
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
+class StalenessFaults:
+    """Bounded link-state staleness: at Poisson instants the database
+    freezes at the current state; a re-flood scheduled at most
+    ``max_staleness`` seconds later thaws it."""
+
+    rate: float = 0.0
+    max_staleness: float = 5.0
+
+    def __post_init__(self) -> None:
+        _check_rate("staleness rate", self.rate)
+        if self.max_staleness <= 0:
+            raise FaultInjectionError(
+                "max_staleness must be positive, got {}".format(
+                    self.max_staleness
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete declarative description of a chaos campaign's
+    adversity."""
+
+    name: str = "custom"
+    signaling: SignalingFaults = field(default_factory=SignalingFaults)
+    flaps: LinkFlapFaults = field(default_factory=LinkFlapFaults)
+    bursts: FailureBurstFaults = field(default_factory=FailureBurstFaults)
+    staleness: StalenessFaults = field(default_factory=StalenessFaults)
+
+    @property
+    def enabled_families(self) -> Dict[str, bool]:
+        return {
+            "signaling": self.signaling.enabled,
+            "flaps": self.flaps.enabled,
+            "bursts": self.bursts.enabled,
+            "staleness": self.staleness.enabled,
+        }
+
+    # ------------------------------------------------------------------
+    # Canned plans
+    # ------------------------------------------------------------------
+    @classmethod
+    def quiet(cls) -> "FaultPlan":
+        """No faults at all (control-group campaigns)."""
+        return cls(name="quiet")
+
+    @classmethod
+    def everything(cls, intensity: float = 1.0) -> "FaultPlan":
+        """Every fault family enabled at a moderate baseline, scaled by
+        ``intensity`` (1.0 = default chaos, 2.0 = twice as hostile)."""
+        if intensity <= 0:
+            raise FaultInjectionError(
+                "intensity must be positive, got {}".format(intensity)
+            )
+        prob = lambda p: min(1.0, p * intensity)  # noqa: E731
+        return cls(
+            name="everything(x{:g})".format(intensity),
+            signaling=SignalingFaults(
+                drop_prob=prob(0.02),
+                delay_prob=prob(0.05),
+                delay_min=0.01,
+                delay_max=0.25,
+                duplicate_prob=prob(0.02),
+                crash_prob=prob(0.01),
+            ),
+            flaps=LinkFlapFaults(
+                rate=0.02 * intensity, down_min=2.0, down_max=15.0
+            ),
+            bursts=FailureBurstFaults(
+                rate=0.004 * intensity, size_min=2, size_max=4,
+                down_min=5.0, down_max=30.0,
+            ),
+            staleness=StalenessFaults(
+                rate=0.01 * intensity, max_staleness=5.0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["version"] = _FORMAT_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if data.get("version") != _FORMAT_VERSION:
+            raise FaultInjectionError(
+                "unsupported fault-plan version {!r}".format(data.get("version"))
+            )
+        return cls(
+            name=data.get("name", "custom"),
+            signaling=SignalingFaults(**data.get("signaling", {})),
+            flaps=LinkFlapFaults(**data.get("flaps", {})),
+            bursts=FailureBurstFaults(**data.get("bursts", {})),
+            staleness=StalenessFaults(**data.get("staleness", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))

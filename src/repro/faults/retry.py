@@ -1,0 +1,64 @@
+"""Retry policy for lossy control-plane signaling.
+
+Real signaling protocols survive packet loss with acknowledgement
+timeouts and retransmission; this module provides the deterministic
+equivalent: capped exponential backoff with jitter and an overall
+deadline.  The policy is *pure* — jitter randomness comes from the
+caller's seeded stream (see :mod:`repro.faults.injector`), so a
+campaign replayed from the same seed backs off identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff + jitter + deadline.
+
+    Attempt numbering: attempt 1 is the initial transmission;
+    ``backoff(1)`` is the wait before attempt 2, and so on.  A policy
+    gives up when either ``max_attempts`` walks have faulted or the
+    cumulative signaling time (injected delays plus backoffs) crosses
+    ``deadline``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                "need 0 <= base_delay <= max_delay, got [{}, {}]".format(
+                    self.base_delay, self.max_delay
+                )
+            )
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retrying after the ``attempt``-th failed walk."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw)
+
+    def gives_up(self, attempts: int, elapsed: float) -> bool:
+        """True once another retry would be futile."""
+        return attempts >= self.max_attempts or elapsed >= self.deadline

@@ -15,6 +15,14 @@ Two refresh modes are supported:
 * **snapshot** — reads reflect the state at the last explicit
   :meth:`LinkStateDatabase.refresh` call, which lets ablation
   experiments quantify the cost of stale link-state information.
+
+Fault injection adds a third, transient regime:
+:meth:`LinkStateDatabase.inject_staleness` freezes reads at the
+current state *even in live mode* until the next :meth:`refresh` —
+bounded link-state staleness, the window between a change and its
+re-flood that real protocols always live with.  Link *health* stays
+live in every regime: topology changes flood immediately in any
+link-state protocol.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ class LinkStateDatabase:
     def __init__(self, state: NetworkState, live: bool = True) -> None:
         self._state = state
         self._live = live
+        self._stale = False
+        self.staleness_injections = 0
         self._snapshot_l1: List[int] = []
         self._snapshot_cv: List[ConflictVector] = []
         self._snapshot_primary_headroom: List[float] = []
@@ -43,11 +53,21 @@ class LinkStateDatabase:
         return self._live
 
     @property
+    def stale(self) -> bool:
+        """True while an injected staleness window is open."""
+        return self._stale
+
+    @property
     def num_links(self) -> int:
         return self._state.network.num_links
 
+    def _serving_live(self) -> bool:
+        return self._live and not self._stale
+
     def refresh(self) -> None:
-        """Re-snapshot every link record (no-op effect in live mode)."""
+        """Re-flood: re-snapshot every link record and close any
+        injected staleness window (no-op effect in live mode)."""
+        self._stale = False
         ledgers = self._state.ledgers()
         self._snapshot_l1 = [ledger.aplv.l1_norm for ledger in ledgers]
         self._snapshot_cv = [
@@ -60,18 +80,28 @@ class LinkStateDatabase:
             ledger.backup_headroom() for ledger in ledgers
         ]
 
+    def inject_staleness(self) -> None:
+        """Open a staleness window: freeze all resource reads at the
+        current state until the next :meth:`refresh`.  The injecting
+        fault schedule is responsible for bounding the window by
+        scheduling that refresh (see
+        :class:`~repro.faults.injector.FaultInjector`)."""
+        self.refresh()
+        self._stale = True
+        self.staleness_injections += 1
+
     # ------------------------------------------------------------------
     # Per-link records
     # ------------------------------------------------------------------
     def aplv_l1(self, link_id: int) -> int:
         """P-LSR's advertised scalar ``||APLV_i||_1``."""
-        if self._live:
+        if self._serving_live():
             return self._state.ledger(link_id).aplv.l1_norm
         return self._read_snapshot(self._snapshot_l1, link_id)
 
     def conflict_vector(self, link_id: int) -> ConflictVector:
         """D-LSR's advertised bit-vector ``CV_i``."""
-        if self._live:
+        if self._serving_live():
             return ConflictVector.from_aplv(self._state.ledger(link_id).aplv)
         return self._read_snapshot(self._snapshot_cv, link_id)
 
@@ -86,19 +116,19 @@ class LinkStateDatabase:
         their Conflict-Vector bit set on ``link_id``.  In live mode the
         count is read straight off the authoritative APLV (identical
         result, no bit-vector materialization)."""
-        if self._live:
+        if self._serving_live():
             return self._state.ledger(link_id).aplv.conflict_count(primary_lset)
         return self.conflict_vector(link_id).conflict_count(primary_lset)
 
     def primary_headroom(self, link_id: int) -> float:
         """Bandwidth a new primary could reserve on the link."""
-        if self._live:
+        if self._serving_live():
             return self._state.ledger(link_id).primary_headroom()
         return self._read_snapshot(self._snapshot_primary_headroom, link_id)
 
     def backup_headroom(self, link_id: int) -> float:
         """Bandwidth visible to a backup route search on the link."""
-        if self._live:
+        if self._serving_live():
             return self._state.ledger(link_id).backup_headroom()
         return self._read_snapshot(self._snapshot_backup_headroom, link_id)
 

@@ -224,6 +224,21 @@ class LinkLedger:
             raise ResourceError("bw_per_connection must be positive")
         return int((self._spare_bw + BW_EPSILON) // bw_per_connection)
 
+    def fingerprint(self) -> tuple:
+        """Hashable exact snapshot of this link's resource state:
+        reservations, spare pool, backup registry (keys, LSETs and
+        bandwidths) and the full APLV.  Two ledgers with equal
+        fingerprints are observably identical — the equality the
+        fault-injection tests assert after crash/unwind cycles."""
+        registry = tuple(
+            sorted(
+                (repr(key), tuple(sorted(lset)), bw)
+                for key, (lset, bw) in self._backups.items()
+            )
+        )
+        aplv = tuple(sorted(self._aplv.nonzero_items()))
+        return (self.link_id, self._prime_bw, self._spare_bw, registry, aplv)
+
     def check_invariants(self) -> None:
         """Assert ledger arithmetic consistency (used by tests and the
         simulator's self-check mode)."""
@@ -312,6 +327,16 @@ class NetworkState:
         if capacity <= 0:
             return 0.0
         return (self.total_prime_bw() + self.total_spare_bw()) / capacity
+
+    def fingerprint(self) -> tuple:
+        """Hashable exact snapshot of the whole network's resource
+        state (every ledger plus link health); equal fingerprints mean
+        bit-identical states — used to verify that faulted signaling
+        walks unwind completely and that seeded campaigns reproduce."""
+        return (
+            tuple(ledger.fingerprint() for ledger in self._ledgers),
+            tuple(sorted(self._failed_links)),
+        )
 
     def check_invariants(self) -> None:
         for ledger in self._ledgers:

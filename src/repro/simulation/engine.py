@@ -15,9 +15,9 @@ import heapq
 from itertools import count
 from typing import Callable, List, Optional, Tuple
 
+from ..core.errors import SimulationError
 
-class SimulationError(RuntimeError):
-    """Raised on invalid scheduling (e.g. events in the past)."""
+__all__ = ["Engine", "SimulationError"]
 
 
 class Engine:

@@ -27,6 +27,9 @@ RELEASED = "released"
 LINK_FAILED = "link-failed"
 LINK_REPAIRED = "link-repaired"
 RECOVERY = "recovery"
+DEGRADED_ADMIT = "degraded-admit"
+BACKUP_REESTABLISHED = "backup-reestablished"
+FAULT_INJECTED = "fault-injected"
 
 
 @dataclass(frozen=True)
@@ -121,6 +124,12 @@ class TracingService:
                 primary_hops=conn.primary_route.hop_count,
                 backups=conn.backup_count,
             )
+            if decision.degraded:
+                self.tracer.record(
+                    self._clock,
+                    DEGRADED_ADMIT,
+                    connection=conn.connection_id,
+                )
         else:
             self.tracer.record(
                 self._clock,
@@ -158,6 +167,18 @@ class TracingService:
     def repair_link(self, link_id: int) -> None:
         self._service.repair_link(link_id)
         self.tracer.record(self._clock, LINK_REPAIRED, link=link_id)
+
+    def reestablish_backup(self, connection_id: int) -> bool:
+        restored = self._service.reestablish_backup(connection_id)
+        if restored:
+            self.tracer.record(
+                self._clock, BACKUP_REESTABLISHED, connection=connection_id
+            )
+        return restored
+
+    def record_fault(self, kind: str, **details) -> None:
+        """Log one injected fault (called by the chaos runner)."""
+        self.tracer.record(self._clock, FAULT_INJECTED, fault=kind, **details)
 
     # -- pass-through ------------------------------------------------------
     def __getattr__(self, name: str):

@@ -1,0 +1,126 @@
+"""Chaos-campaign smoke tests.
+
+A short but hostile campaign — every fault family enabled well above
+baseline, a deliberately weak retry policy — must finish with every
+invariant check clean, must actually exercise each fault type, and
+must leave no degraded connection in limbo: each one either regains a
+backup or departs.  And running it twice from the same seed must
+produce bit-for-bit identical reports.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.faults import (
+    BURST_DOWN,
+    FLAP_DOWN,
+    REFRESH,
+    STALENESS,
+    CampaignConfig,
+    FaultPlan,
+    RetryPolicy,
+    run_campaign,
+)
+from repro.simulation import Tracer
+
+PLAN = FaultPlan.everything(intensity=5.0)
+CONFIG = CampaignConfig(rows=6, cols=6, duration=150.0, arrival_rate=1.5,
+                        seed=5)
+#: Weak on purpose: two attempts and a tight deadline force degraded
+#: admissions, so the background re-establishment loop gets exercised.
+POLICY = RetryPolicy(max_attempts=2, deadline=5.0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(PLAN, CONFIG, retry_policy=POLICY)
+
+
+class TestSmoke:
+    def test_every_fault_family_fired(self, report):
+        kinds = set(report.faults_injected)
+        assert FLAP_DOWN in kinds
+        assert BURST_DOWN in kinds
+        assert STALENESS in kinds
+        assert REFRESH in kinds
+
+    def test_signaling_faults_all_occurred(self, report):
+        assert report.signaling_drops > 0
+        assert report.signaling_crashes > 0
+        assert report.signaling_duplicates > 0
+        assert report.signaling_retries > 0
+
+    def test_invariants_checked_after_every_fault(self, report):
+        # One check per injected fault, plus the post-settle check.
+        assert report.invariant_checks >= report.total_faults
+
+    def test_no_degraded_connection_left_in_limbo(self, report):
+        assert report.degraded_admissions > 0
+        assert report.degraded_unresolved == 0
+        assert (
+            report.degraded_reprotected
+            + report.degraded_departed_unprotected
+            == report.degraded_admissions
+        )
+
+    def test_most_degraded_connections_reprotected(self, report):
+        assert report.degraded_recovery_ratio >= 0.9
+        assert report.backups_reestablished > 0
+        assert report.recovery_latencies
+        assert report.mean_recovery_latency > 0
+
+    def test_workload_survived(self, report):
+        assert report.requests > 0
+        assert report.accepted > 0
+        assert report.acceptance_ratio > 0.9
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, report):
+        rerun = run_campaign(PLAN, CONFIG, retry_policy=POLICY)
+        assert rerun.to_dict() == report.to_dict()
+
+    def test_report_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["degraded"]["unresolved"] == 0
+
+
+class TestQuietPlan:
+    def test_no_faults_means_no_degradation(self):
+        quiet = run_campaign(FaultPlan.quiet(), CONFIG, retry_policy=POLICY)
+        assert quiet.total_faults == 0
+        assert quiet.degraded_admissions == 0
+        assert quiet.signaling_drops == 0
+        assert quiet.signaling_retries == 0
+        assert quiet.mean_unprotected_ratio == 0.0
+
+
+class TestTracingAndCli:
+    def test_tracer_records_faults_and_recoveries(self):
+        tracer = Tracer()
+        run_campaign(PLAN, CONFIG, retry_policy=POLICY, tracer=tracer)
+        counts = tracer.counts()
+        assert counts.get("fault-injected", 0) > 0
+        assert counts.get("degraded-admit", 0) > 0
+        assert counts.get("backup-reestablished", 0) > 0
+
+    def test_cli_chaos_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = cli_main(
+            [
+                "chaos",
+                "--rows", "4", "--cols", "4",
+                "--rate", "1.0",
+                "--duration", "60",
+                "--intensity", "3.0",
+                "--seed", "9",
+                "--report", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["seed"] == 9
+        assert "degraded" in payload
+        assert "fault plan" in capsys.readouterr().out

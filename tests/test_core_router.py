@@ -141,3 +141,70 @@ class TestEquivalenceWithCentralized:
             assert ledger_a.spare_bw == pytest.approx(ledger_b.spare_bw)
             assert ledger_a.backup_count == ledger_b.backup_count
             assert ledger_a.aplv == ledger_b.aplv
+
+
+class _ScriptedInjector:
+    """Per-hop verdicts from a script; clean delivery once it runs out."""
+
+    def __init__(self, events=(), crashes=()):
+        import random
+
+        self._events = list(events)
+        self._crashes = list(crashes)
+        self.retry_rng = random.Random(0)
+
+    def sample_hop(self):
+        if self._events:
+            return self._events.pop(0)
+        return "deliver", 0.0
+
+    def crash_hop(self, hops):
+        if self._crashes:
+            crash = self._crashes.pop(0)
+            return crash if crash is not None and crash < hops else None
+        return None
+
+
+class TestFaultySignaling:
+    def test_crashed_walks_unwind_and_give_up(self, net):
+        from repro.faults import RetryPolicy
+
+        state = NetworkState(net)
+        plane = DistributedControlPlane(
+            net, state, SharedSparePolicy(),
+            injector=_ScriptedInjector(crashes=[1, 0, 2]),
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        before = state.fingerprint()
+        result = plane.register_backup(packet(net))
+        assert not result.success
+        assert result.gave_up
+        assert result.attempts == 3
+        assert result.crashes == 3
+        assert state.fingerprint() == before
+
+    def test_retry_after_drop_matches_clean_walk(self, net):
+        from repro.faults import RetryPolicy
+
+        state = NetworkState(net)
+        reference = NetworkState(net)
+        plane = DistributedControlPlane(
+            net, state, SharedSparePolicy(),
+            injector=_ScriptedInjector(
+                events=[("drop", 0.0), ("duplicate", 0.0)]
+            ),
+            retry_policy=RetryPolicy(max_attempts=4, jitter=0.0),
+        )
+        result = plane.register_backup(packet(net))
+        clean = register_backup_path(
+            reference, SharedSparePolicy(), packet(net)
+        )
+        assert result.success
+        assert result.attempts == 2
+        assert result.drops == 1
+        assert result.duplicates == 1
+        assert clean.success
+        assert state.fingerprint() == reference.fingerprint()
+        # Retry amplification shows up on the wire: the faulted plane
+        # sent strictly more messages than the 4-hop clean walk.
+        assert plane.messages_sent > 4
