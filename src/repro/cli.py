@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds before measurement (default: half)")
     replay.add_argument("--snapshots", type=int, default=4)
     replay.add_argument("--num-backups", type=int, default=1)
+    replay.add_argument("--oracle", action="store_true",
+                        help="replay under the differential-testing "
+                        "oracle: every operation is mirrored into a "
+                        "naive reference service and diffed "
+                        "bit-for-bit (slow; fails loudly on any "
+                        "fast-path divergence)")
 
     assess = sub.add_parser(
         "assess", help="failure sweep over a randomly loaded network"
@@ -131,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report as JSON here")
     chaos.add_argument("--trace", default=None,
                        help="write a JSON-lines event trace here")
+    chaos.add_argument("--log", default=None, metavar="PATH",
+                       help="write the textual report here (default: "
+                       "benchmarks/results/chaos_<scheme>_seed<seed>.log"
+                       ", a gitignored location; pass 'none' to skip)")
     chaos.add_argument("--verify", action="store_true",
                        help="run the campaign twice and assert the "
                        "reports are bit-for-bit identical")
@@ -199,6 +209,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     service = DRTPService(
         network, scheme, require_backup=args.scheme != "no-backup"
     )
+    oracle = None
+    if args.oracle:
+        from .testing import DifferentialOracle
+
+        oracle = DifferentialOracle(service)
+        service = oracle
     ft = FaultToleranceObserver()
     spare = SpareShareObserver()
     warmup = args.warmup if args.warmup is not None else scenario.duration / 2
@@ -220,6 +236,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     ]
     for reason, count in sorted(result.rejected.items()):
         rows.append(("rejected: {}".format(reason), count))
+    if oracle is not None:
+        rows.append(("oracle operations", oracle.operations))
+        rows.append(("oracle checks", oracle.checks))
+        rows.append(("oracle divergences", 0))
     print(format_table(("metric", "value"), rows))
     return 0
 
@@ -297,6 +317,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("reproducible: two runs of seed {} are identical".format(
             args.seed))
     print(report.format())
+    if args.log != "none":
+        from pathlib import Path
+
+        if args.log is not None:
+            log_path = Path(args.log)
+        else:
+            # Default under benchmarks/results/ (gitignored) so ad-hoc
+            # campaign logs stop littering the repository root.
+            log_path = Path("benchmarks") / "results" / (
+                "chaos_{}_seed{}.log".format(args.scheme, args.seed)
+            )
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        log_path.write_text(report.format() + "\n")
+        print("wrote campaign log to {}".format(log_path))
     if args.trace:
         tracer.write_jsonl(args.trace)
         print("wrote {} trace events to {}".format(len(tracer), args.trace))

@@ -35,7 +35,7 @@ class APLV:
         num_links: The network's total link count ``N`` (vector length).
     """
 
-    __slots__ = ("_num_links", "_counts", "_l1")
+    __slots__ = ("_num_links", "_counts", "_l1", "_support_version")
 
     def __init__(self, num_links: int) -> None:
         if num_links <= 0:
@@ -43,6 +43,17 @@ class APLV:
         self._num_links = num_links
         self._counts: Dict[int, int] = {}
         self._l1 = 0
+        self._support_version = 0
+
+    @classmethod
+    def from_lsets(cls, num_links: int, lsets: Iterable[Iterable[int]]) -> "APLV":
+        """Rebuild a vector from scratch out of every registered
+        primary ``LSET`` — the naive reference path the differential
+        oracle diffs the incrementally-maintained vectors against."""
+        aplv = cls(num_links)
+        for lset in lsets:
+            aplv.add_primary(lset)
+        return aplv
 
     # ------------------------------------------------------------------
     # Updates
@@ -52,7 +63,10 @@ class APLV:
         the backup's *primary* route link set."""
         for link_id in lset:
             self._check_position(link_id)
-            self._counts[link_id] = self._counts.get(link_id, 0) + 1
+            count = self._counts.get(link_id, 0)
+            if count == 0:
+                self._support_version += 1
+            self._counts[link_id] = count + 1
             self._l1 += 1
 
     def remove_primary(self, lset: Iterable[int]) -> None:
@@ -73,6 +87,7 @@ class APLV:
                 self._counts[link_id] = remaining
             else:
                 del self._counts[link_id]
+                self._support_version += 1
             self._l1 -= 1
 
     def _check_position(self, link_id: int) -> None:
@@ -100,6 +115,15 @@ class APLV:
     def l1_norm(self) -> int:
         """``||APLV_i||_1`` — the P-LSR cost contribution (Section 3.1)."""
         return self._l1
+
+    @property
+    def support_version(self) -> int:
+        """Counter that moves only when the *support* changes (a
+        position crossing 0).  Conflict Vectors depend on the support
+        alone, so a CV snapshot taken at version ``v`` stays valid for
+        as long as ``support_version == v`` — the invalidation key for
+        the cached per-link CV."""
+        return self._support_version
 
     @property
     def max_element(self) -> int:
@@ -139,6 +163,7 @@ class APLV:
         clone = APLV(self._num_links)
         clone._counts = dict(self._counts)
         clone._l1 = self._l1
+        clone._support_version = self._support_version
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -16,6 +16,15 @@ Two refresh modes are supported:
   :meth:`LinkStateDatabase.refresh` call, which lets ablation
   experiments quantify the cost of stale link-state information.
 
+Refreshes are **incremental**: the database subscribes to its
+:class:`~repro.network.state.NetworkState`'s change notifications and
+keeps an explicit dirty-link set, so a re-flood rescans only the links
+whose ledgers actually changed since the previous refresh — O(|dirty|)
+instead of O(N) — exactly the delta a real router would learn from the
+flooded advertisements.  The first refresh (and only the first) builds
+the full snapshot.  ``links_rescanned`` counts per-link record rebuilds
+so tests and benchmarks can assert the fast path stays incremental.
+
 Fault injection adds a third, transient regime:
 :meth:`LinkStateDatabase.inject_staleness` freezes reads at the
 current state *even in live mode* until the next :meth:`refresh` —
@@ -45,8 +54,21 @@ class LinkStateDatabase:
         self._snapshot_cv: List[ConflictVector] = []
         self._snapshot_primary_headroom: List[float] = []
         self._snapshot_backup_headroom: List[float] = []
+        #: Links whose ledgers mutated since the last refresh — the
+        #: incremental-refresh work list.
+        self._dirty_links: set = set()
+        self.refreshes = 0
+        self.links_rescanned = 0
+        state.subscribe(self._mark_dirty)
         if not live:
             self.refresh()
+
+    def _mark_dirty(self, link_id: int) -> None:
+        self._dirty_links.add(link_id)
+
+    def dirty_links(self) -> frozenset:
+        """Links awaiting re-advertisement at the next refresh."""
+        return frozenset(self._dirty_links)
 
     @property
     def live(self) -> bool:
@@ -65,20 +87,39 @@ class LinkStateDatabase:
         return self._live and not self._stale
 
     def refresh(self) -> None:
-        """Re-flood: re-snapshot every link record and close any
-        injected staleness window (no-op effect in live mode)."""
+        """Re-flood: re-snapshot the changed link records and close any
+        injected staleness window (no-op effect in live mode).
+
+        Only the links in the dirty set are rescanned; the first call
+        builds the complete snapshot."""
         self._stale = False
-        ledgers = self._state.ledgers()
-        self._snapshot_l1 = [ledger.aplv.l1_norm for ledger in ledgers]
-        self._snapshot_cv = [
-            ConflictVector.from_aplv(ledger.aplv) for ledger in ledgers
-        ]
-        self._snapshot_primary_headroom = [
-            ledger.primary_headroom() for ledger in ledgers
-        ]
-        self._snapshot_backup_headroom = [
-            ledger.backup_headroom() for ledger in ledgers
-        ]
+        self.refreshes += 1
+        if not self._snapshot_l1:
+            ledgers = self._state.ledgers()
+            self._snapshot_l1 = [ledger.aplv.l1_norm for ledger in ledgers]
+            self._snapshot_cv = [
+                ledger.conflict_vector() for ledger in ledgers
+            ]
+            self._snapshot_primary_headroom = [
+                ledger.primary_headroom() for ledger in ledgers
+            ]
+            self._snapshot_backup_headroom = [
+                ledger.backup_headroom() for ledger in ledgers
+            ]
+            self.links_rescanned += len(ledgers)
+        else:
+            for link_id in self._dirty_links:
+                ledger = self._state.ledger(link_id)
+                self._snapshot_l1[link_id] = ledger.aplv.l1_norm
+                self._snapshot_cv[link_id] = ledger.conflict_vector()
+                self._snapshot_primary_headroom[link_id] = (
+                    ledger.primary_headroom()
+                )
+                self._snapshot_backup_headroom[link_id] = (
+                    ledger.backup_headroom()
+                )
+            self.links_rescanned += len(self._dirty_links)
+        self._dirty_links.clear()
 
     def inject_staleness(self) -> None:
         """Open a staleness window: freeze all resource reads at the
@@ -100,9 +141,10 @@ class LinkStateDatabase:
         return self._read_snapshot(self._snapshot_l1, link_id)
 
     def conflict_vector(self, link_id: int) -> ConflictVector:
-        """D-LSR's advertised bit-vector ``CV_i``."""
+        """D-LSR's advertised bit-vector ``CV_i`` (live reads serve the
+        ledger's support-versioned CV cache)."""
         if self._serving_live():
-            return ConflictVector.from_aplv(self._state.ledger(link_id).aplv)
+            return self._state.ledger(link_id).conflict_vector()
         return self._read_snapshot(self._snapshot_cv, link_id)
 
     def is_failed(self, link_id: int) -> bool:

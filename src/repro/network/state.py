@@ -18,10 +18,11 @@ shortage) lives in :mod:`repro.core.multiplexing`.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from ..topology.graph import Network
 from .aplv import APLV
+from .conflict_vector import ConflictVector
 
 #: Tolerance for floating-point bandwidth comparisons.
 BW_EPSILON = 1e-9
@@ -37,11 +38,15 @@ class LinkLedger:
     __slots__ = (
         "link_id",
         "capacity",
+        "version",
         "_prime_bw",
         "_spare_bw",
         "_aplv",
         "_backups",
         "_demand",
+        "_on_change",
+        "_cv_cache",
+        "_cv_cache_version",
     )
 
     def __init__(self, link_id: int, capacity: float, num_links: int) -> None:
@@ -49,6 +54,9 @@ class LinkLedger:
             raise ResourceError("capacity must be positive, got {}".format(capacity))
         self.link_id = link_id
         self.capacity = capacity
+        #: Bumped on every mutation; lets readers detect staleness
+        #: without diffing the whole ledger.
+        self.version = 0
         self._prime_bw = 0.0
         self._spare_bw = 0.0
         self._aplv = APLV(num_links)
@@ -57,6 +65,17 @@ class LinkLedger:
         # position j -> total bandwidth of backups here whose primary
         # crosses L_j; the bandwidth-weighted APLV used to size spare.
         self._demand: Dict[int, float] = {}
+        # Change-notification hook (set by NetworkState) feeding the
+        # dirty-link sets of incremental link-state databases.
+        self._on_change: Optional[Callable[[int], None]] = None
+        self._cv_cache: Optional[ConflictVector] = None
+        self._cv_cache_version = -1
+
+    def _touch(self) -> None:
+        """Record one mutation: bump the version and notify readers."""
+        self.version += 1
+        if self._on_change is not None:
+            self._on_change(self.link_id)
 
     # ------------------------------------------------------------------
     # Views
@@ -78,6 +97,17 @@ class LinkLedger:
     def aplv(self) -> APLV:
         """The link's live APLV (mutated only through this ledger)."""
         return self._aplv
+
+    def conflict_vector(self) -> ConflictVector:
+        """The link's current CV, cached against the APLV's support
+        version: repeated reads on an unchanged support (the common
+        case between admissions) return the same immutable snapshot
+        instead of re-materializing the bit vector."""
+        version = self._aplv.support_version
+        if self._cv_cache is None or self._cv_cache_version != version:
+            self._cv_cache = ConflictVector.from_aplv(self._aplv)
+            self._cv_cache_version = version
+        return self._cv_cache
 
     @property
     def backup_count(self) -> int:
@@ -144,6 +174,7 @@ class LinkLedger:
                 )
             )
         self._prime_bw += bw
+        self._touch()
 
     def release_primary(self, bw: float) -> None:
         if bw <= 0:
@@ -155,6 +186,7 @@ class LinkLedger:
                 )
             )
         self._prime_bw = max(0.0, self._prime_bw - bw)
+        self._touch()
 
     # ------------------------------------------------------------------
     # Backup registration (APLV bookkeeping; spare sizing is policy)
@@ -178,6 +210,7 @@ class LinkLedger:
         for position in lset:
             self._demand[position] = self._demand.get(position, 0.0) + bw
         self._backups[connection_id] = (lset, bw)
+        self._touch()
 
     def release_backup(self, connection_id: int) -> None:
         """Remove a backup; decrements the APLV with the stored LSET."""
@@ -196,6 +229,7 @@ class LinkLedger:
                 del self._demand[position]
             else:
                 self._demand[position] = remaining
+        self._touch()
 
     # ------------------------------------------------------------------
     # Spare management (called by the multiplexing policy)
@@ -214,7 +248,9 @@ class LinkLedger:
                         self.link_id, growth, self.free_bw
                     )
                 )
-        self._spare_bw = spare_bw
+        if spare_bw != self._spare_bw:
+            self._spare_bw = spare_bw
+            self._touch()
 
     def spare_capacity_count(self, bw_per_connection: float) -> int:
         """``SC_i``: how many backups the spare pool can activate at
@@ -280,6 +316,29 @@ class NetworkState:
             for link in network.links()
         ]
         self._failed_links: set = set()
+        self._subscribers: List[Callable[[int], None]] = []
+        for ledger in self._ledgers:
+            ledger._on_change = self._notify_change
+
+    # ------------------------------------------------------------------
+    # Change notification (feeds incremental database maintenance)
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with a ``link_id`` on every
+        ledger mutation (reservation, registration, spare resize).
+        Incremental link-state databases subscribe to maintain their
+        dirty-link sets instead of rescanning every link on refresh."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[int], None]) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_change(self, link_id: int) -> None:
+        for callback in self._subscribers:
+            callback(link_id)
 
     # ------------------------------------------------------------------
     # Link health (persistent failures, Section 1's fault model)

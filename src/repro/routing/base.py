@@ -23,6 +23,7 @@ from ..network.database import LinkStateDatabase
 from ..network.state import NetworkState
 from ..topology.distance import DistanceTable, build_distance_tables
 from ..topology.graph import Network, Route
+from .dijkstra import bounded_shortest_path, shortest_path
 
 
 @dataclass(frozen=True)
@@ -117,6 +118,15 @@ class RoutingScheme(abc.ABC):
 
     #: Short identifier used in reports ("P-LSR", "D-LSR", "BF", ...).
     name: str = "abstract"
+
+    #: Path-search entry points.  Schemes route through these instead
+    #: of calling :mod:`repro.routing.dijkstra` directly so a harness
+    #: can swap the search per *instance* (assigning plain functions to
+    #: an instance attribute overrides the class staticmethod) — the
+    #: differential-testing oracle runs its shadow scheme with the
+    #: naive reference searches this way.
+    search_unbounded = staticmethod(shortest_path)
+    search_bounded = staticmethod(bounded_shortest_path)
 
     def __init__(self) -> None:
         self._context: Optional[RoutingContext] = None

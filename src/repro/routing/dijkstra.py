@@ -11,16 +11,31 @@ component-wise sum, and comparison is tuple comparison.  Encoding
 ``Q + conflicts + epsilon`` ordering exactly for any epsilon in
 ``(0, 1)`` and any network diameter.
 
-The implementation is a textbook binary-heap Dijkstra, written here
-from scratch (no networkx) because link costs depend on live DRTP
-state and on the connection being routed.
+The search is a binary-heap Dijkstra, written here from scratch (no
+networkx) because link costs depend on live DRTP state and on the
+connection being routed.  Two fast-path optimizations make repeated
+searches on an unchanged topology cheap, without changing a single
+returned route:
+
+* **cached adjacency** — frozen networks get a per-network
+  :class:`SearchWorkspace` holding the out-link tuples of every node,
+  so a search never re-materializes adjacency lists;
+* **reusable priority-queue state** — distance/parent/visited arrays
+  live in the workspace and are invalidated by an epoch stamp instead
+  of being reallocated per search.
+
+Tie-breaking (heap insertion counter over the cached adjacency order,
+which is link insertion order) is bit-identical to the naive reference
+implementation kept in :mod:`repro.testing.reference`; the
+differential-testing oracle asserts exactly that.
 """
 
 from __future__ import annotations
 
-import heapq
+import weakref
+from heapq import heappop, heappush
 from itertools import count
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..topology.graph import Link, Network, Route
 
@@ -34,6 +49,59 @@ def hop_cost(_link: Link) -> Tuple[float, ...]:
     return (1.0,)
 
 
+class SearchWorkspace:
+    """Per-network reusable search state.
+
+    ``adjacency[node]`` is the tuple of out-links of ``node`` in link
+    insertion order (the tie-breaking order).  The distance, parent and
+    visited arrays are validated per search by ``epoch`` stamps, so
+    starting a new search costs two list reads per touched node instead
+    of O(V) clearing or fresh dict allocations.
+    """
+
+    __slots__ = (
+        "adjacency",
+        "dist",
+        "parent",
+        "dist_stamp",
+        "visited_stamp",
+        "epoch",
+        "in_use",
+    )
+
+    def __init__(self, network: Network) -> None:
+        self.adjacency: Tuple[Tuple[Link, ...], ...] = tuple(
+            tuple(network.out_links(node)) for node in network.nodes()
+        )
+        num_nodes = network.num_nodes
+        self.dist: List[Optional[Tuple[float, ...]]] = [None] * num_nodes
+        self.parent: List[Optional[Tuple[int, int]]] = [None] * num_nodes
+        self.dist_stamp = [0] * num_nodes
+        self.visited_stamp = [0] * num_nodes
+        self.epoch = 0
+        self.in_use = False
+
+
+#: Frozen topologies are immutable, so their adjacency (and the sized
+#: search arrays) can be cached for the network's lifetime.
+_WORKSPACES: "weakref.WeakKeyDictionary[Network, SearchWorkspace]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def search_workspace(network: Network) -> SearchWorkspace:
+    """The cached workspace for a frozen network (created on first
+    use).  Unfrozen networks get a fresh, uncached workspace — their
+    adjacency may still change."""
+    if not network.frozen:
+        return SearchWorkspace(network)
+    workspace = _WORKSPACES.get(network)
+    if workspace is None:
+        workspace = SearchWorkspace(network)
+        _WORKSPACES[network] = workspace
+    return workspace
+
+
 def shortest_path(
     network: Network,
     source: int,
@@ -43,7 +111,8 @@ def shortest_path(
     """Minimum-cost loop-free path, or ``None`` if unreachable.
 
     Args:
-        network: Frozen topology to search.
+        network: Topology to search (frozen topologies reuse a cached
+            :class:`SearchWorkspace`).
         source: Start node.
         destination: End node (must differ from ``source``).
         link_cost: Additive cost per link; return ``None`` to forbid a
@@ -58,23 +127,49 @@ def shortest_path(
     if source == destination:
         raise ValueError("source and destination must differ")
 
+    workspace = search_workspace(network)
+    if workspace.in_use:
+        # Reentrant search (a cost function routing recursively):
+        # fall back to an ephemeral workspace rather than corrupting
+        # the in-flight arrays.
+        workspace = SearchWorkspace(network)
+    workspace.in_use = True
+    try:
+        return _heap_search(workspace, source, destination, link_cost)
+    finally:
+        workspace.in_use = False
+
+
+def _heap_search(
+    workspace: SearchWorkspace,
+    source: int,
+    destination: int,
+    link_cost: LinkCost,
+) -> Optional[Route]:
+    workspace.epoch += 1
+    epoch = workspace.epoch
+    adjacency = workspace.adjacency
+    dist = workspace.dist
+    parent = workspace.parent
+    dist_stamp = workspace.dist_stamp
+    visited_stamp = workspace.visited_stamp
+
     counter = count()
-    # dist[node] = best known cost tuple; parent[node] = (prev, link_id).
     # The source carries the empty tuple, which acts as the additive
     # identity below and sorts before every non-empty cost in the heap.
-    dist: dict = {source: ()}
-    parent: dict = {}
+    dist[source] = ()
+    dist_stamp[source] = epoch
     heap = [((), next(counter), source)]
-    visited = set()
     while heap:
-        cost, _, node = heapq.heappop(heap)
-        if node in visited:
+        cost, _, node = heappop(heap)
+        if visited_stamp[node] == epoch:
             continue
-        visited.add(node)
+        visited_stamp[node] = epoch
         if node == destination:
-            return _unwind(network, source, destination, parent)
-        for link in network.out_links(node):
-            if link.dst in visited:
+            return _unwind(workspace, epoch, source, destination)
+        for link in adjacency[node]:
+            dst = link.dst
+            if visited_stamp[dst] == epoch:
                 continue
             step = link_cost(link)
             if step is None:
@@ -83,21 +178,23 @@ def shortest_path(
                 new_cost = tuple(a + b for a, b in zip(cost, step))
             else:
                 new_cost = tuple(step)
-            old = dist.get(link.dst)
-            if old is None or new_cost < old:
-                dist[link.dst] = new_cost
-                parent[link.dst] = (node, link.link_id)
-                heapq.heappush(heap, (new_cost, next(counter), link.dst))
+            if dist_stamp[dst] != epoch or new_cost < dist[dst]:
+                dist[dst] = new_cost
+                dist_stamp[dst] = epoch
+                parent[dst] = (node, link.link_id)
+                heappush(heap, (new_cost, next(counter), dst))
     return None
 
 
 def _unwind(
-    network: Network, source: int, destination: int, parent: dict
+    workspace: SearchWorkspace, epoch: int, source: int, destination: int
 ) -> Route:
     nodes = [destination]
     links = []
     node = destination
+    parent = workspace.parent
     while node != source:
+        assert workspace.dist_stamp[node] == epoch
         prev, link_id = parent[node]
         nodes.append(prev)
         links.append(link_id)
@@ -120,7 +217,9 @@ def bounded_shortest_path(
     a backup whose "QoS requirement (e.g., end-to-end delay) is too
     tight to use the longer path" cannot take it): Dijkstra over the
     layered state space ``(node, hops_used)``, so a cheaper-but-longer
-    route never shadows a compliant one.
+    route never shadows a compliant one.  The layered state space is
+    keyed by dict (its size depends on the hop bound), but adjacency
+    comes from the shared cached workspace.
 
     Complexity is ``O(max_hops · E · log(max_hops · V))`` — the hop
     bound is small (network diameter plus slack), so this stays cheap.
@@ -132,13 +231,14 @@ def bounded_shortest_path(
     if max_hops < 1:
         return None
 
+    adjacency = search_workspace(network).adjacency
     counter = count()
     dist: dict = {(source, 0): ()}
     parent: dict = {}
     heap = [((), next(counter), source, 0)]
     best_goal = None  # (cost, node, hops)
     while heap:
-        cost, _, node, hops = heapq.heappop(heap)
+        cost, _, node, hops = heappop(heap)
         if best_goal is not None and cost >= best_goal[0]:
             break
         if node == destination:
@@ -148,7 +248,7 @@ def bounded_shortest_path(
             continue
         if dist.get((node, hops), None) is not None and cost > dist[(node, hops)]:
             continue
-        for link in network.out_links(node):
+        for link in adjacency[node]:
             step = link_cost(link)
             if step is None:
                 continue
@@ -161,7 +261,7 @@ def bounded_shortest_path(
             if old is None or new_cost < old:
                 dist[state] = new_cost
                 parent[state] = (node, hops, link.link_id)
-                heapq.heappush(
+                heappush(
                     heap, (new_cost, next(counter), link.dst, hops + 1)
                 )
     if best_goal is None:

@@ -21,15 +21,19 @@ from typing import FrozenSet, List, Optional
 from ..topology.graph import Route
 from .base import RoutePlan, RouteQuery, RoutingScheme
 from .costs import primary_link_cost
-from .dijkstra import LinkCost, bounded_shortest_path, shortest_path
+from .dijkstra import LinkCost
 
 
-def _search(network, query: RouteQuery, cost: LinkCost):
-    """Dispatch to the QoS-bounded search when the query carries a
-    delay bound."""
+def _search(scheme: RoutingScheme, query: RouteQuery, cost: LinkCost):
+    """Dispatch to the scheme's QoS-bounded search when the query
+    carries a delay bound (the search functions themselves are the
+    scheme's pluggable ``search_*`` hooks)."""
+    network = scheme.context.network
     if query.max_hops is None:
-        return shortest_path(network, query.source, query.destination, cost)
-    return bounded_shortest_path(
+        return scheme.search_unbounded(
+            network, query.source, query.destination, cost
+        )
+    return scheme.search_bounded(
         network, query.source, query.destination, cost, query.max_hops
     )
 
@@ -64,7 +68,7 @@ class LinkStateScheme(RoutingScheme):
     def plan(self, query: RouteQuery) -> RoutePlan:
         ctx = self.context
         primary = _search(
-            ctx.network, query, primary_link_cost(ctx.database, query.bw_req)
+            self, query, primary_link_cost(ctx.database, query.bw_req)
         )
         if primary is None:
             return RoutePlan(note="no bandwidth-feasible primary within QoS")
@@ -80,21 +84,19 @@ class LinkStateScheme(RoutingScheme):
     def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:
         """Single-backup search against an established primary (the
         reconfiguration entry point)."""
-        ctx = self.context
         return _search(
-            ctx.network,
+            self,
             query,
             self.backup_cost(query.bw_req, primary.lset, primary.lset),
         )
 
     def _plan_backups(self, query: RouteQuery, primary: Route) -> List[Route]:
-        ctx = self.context
         backups: List[Route] = []
         avoid = set(primary.lset)
         seen = {primary.lset}
         for _ in range(self.num_backups):
             route = _search(
-                ctx.network,
+                self,
                 query,
                 self.backup_cost(
                     query.bw_req, primary.lset, frozenset(avoid)

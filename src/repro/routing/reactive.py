@@ -41,7 +41,7 @@ class ReactiveScheme(RoutingScheme):
 
     def plan(self, query: RouteQuery) -> RoutePlan:
         ctx = self.context
-        primary = shortest_path(
+        primary = self.search_unbounded(
             ctx.network,
             query.source,
             query.destination,

@@ -1,0 +1,32 @@
+"""Differential-testing harness for the fast-path routing engine.
+
+The incremental APLV/CV maintenance and the cached-workspace Dijkstra
+buy their speed with exactly the kind of state that drifts silently.
+This package keeps them honest:
+
+* :mod:`repro.testing.reference` — rebuild-from-scratch counterparts
+  of every optimized component (naive searches, APLV rebuilds, a
+  no-cache database) preserved from before the optimization;
+* :mod:`repro.testing.oracle` — :class:`DifferentialOracle`, a service
+  wrapper that replays every operation into a naive shadow service and
+  asserts bit-identical decisions, routes and state fingerprints.
+"""
+
+from .oracle import DifferentialOracle, OracleDivergence
+from .reference import (
+    ReferenceDatabase,
+    make_reference_service,
+    naive_bounded_shortest_path,
+    naive_shortest_path,
+    rebuilt_aplv,
+)
+
+__all__ = [
+    "DifferentialOracle",
+    "OracleDivergence",
+    "ReferenceDatabase",
+    "make_reference_service",
+    "naive_bounded_shortest_path",
+    "naive_shortest_path",
+    "rebuilt_aplv",
+]

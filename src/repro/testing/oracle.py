@@ -1,0 +1,260 @@
+"""Differential-testing oracle for the fast-path routing engine.
+
+:class:`DifferentialOracle` wraps a :class:`~repro.core.service.DRTPService`
+the way :class:`~repro.simulation.tracing.TracingService` does — same
+lifecycle surface, attribute pass-through for everything else — but
+mirrors every operation into a shadow service built by
+:func:`~repro.testing.reference.make_reference_service`: same scheme,
+naive reference searches, rebuild-per-read database, independent
+ledgers.  After each operation the oracle asserts the two worlds are
+**bit-identical**:
+
+* the admission decision (accepted/reason/degraded) and every route in
+  the plan, link id for link id;
+* the failure-impact outcomes of ``fail_link``/``fail_node``;
+* the full network-state fingerprint (every ledger's reservations,
+  spare pool, backup registry and APLV, plus link health);
+* the incrementally-maintained APLV of every ledger against a
+  rebuild-from-registry vector, and every live database record
+  (``aplv_l1``, CV bits, conflict counts, headrooms) against the naive
+  rebuild.
+
+Any mismatch raises :class:`OracleDivergence` naming the operation and
+the first differing component.  Zero divergences over a long random
+operation stream is the acceptance bar for the fast path; the
+simulator grows a ``--oracle`` flag that runs whole scenario replays
+under this wrapper.
+
+The oracle refuses services with a fault injector attached: injected
+faults draw from a shared RNG, so fast and shadow services would see
+different fault sequences and diverge by design, not by bug.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.service import DRTPService
+from .reference import make_reference_service, rebuilt_aplv
+
+
+class OracleDivergence(AssertionError):
+    """The fast path and the naive reference disagreed."""
+
+
+def _route_key(route) -> Optional[tuple]:
+    if route is None:
+        return None
+    return (route.nodes, route.link_ids)
+
+
+def _impact_key(impact) -> tuple:
+    return (
+        impact.link_id,
+        tuple(
+            (o.connection_id, o.success, o.reason) for o in impact.outcomes
+        ),
+    )
+
+
+class DifferentialOracle:
+    """Run a shadow naive service in lockstep and diff after every op."""
+
+    def __init__(
+        self,
+        service: DRTPService,
+        check_database: bool = True,
+    ) -> None:
+        """``check_database=False`` skips the per-link database record
+        sweep (O(num_links) per operation) and keeps only the decision
+        and fingerprint diffs — for long campaigns on big meshes."""
+        if service.fault_injector is not None:
+            raise ValueError(
+                "DifferentialOracle cannot wrap a fault-injected service: "
+                "fast and shadow services would draw different fault "
+                "sequences and diverge by design"
+            )
+        self._service = service
+        self._shadow = make_reference_service(service)
+        self._check_database = check_database
+        #: Mirrored operations so far.
+        self.operations = 0
+        #: Individual equality assertions that passed.
+        self.checks = 0
+
+    @property
+    def service(self) -> DRTPService:
+        """The wrapped fast-path service."""
+        return self._service
+
+    @property
+    def shadow(self) -> DRTPService:
+        """The naive reference service (exposed for tests)."""
+        return self._shadow
+
+    # ------------------------------------------------------------------
+    # Mirrored lifecycle operations
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        source: int,
+        destination: int,
+        bw_req: float,
+        arrival_time: float = 0.0,
+        holding_time: float = float("inf"),
+        request_id: Optional[int] = None,
+    ):
+        decision = self._service.request(
+            source, destination, bw_req, arrival_time, holding_time,
+            request_id,
+        )
+        # Re-admit the *same* request object so both services agree on
+        # the connection id regardless of who allocated it.
+        shadow_decision = self._shadow.admit(decision.request)
+        self._compare_decisions("request", decision, shadow_decision)
+        self._compare_state("request")
+        return decision
+
+    def admit(self, request):
+        decision = self._service.admit(request)
+        shadow_decision = self._shadow.admit(request)
+        self._compare_decisions("admit", decision, shadow_decision)
+        self._compare_state("admit")
+        return decision
+
+    def release(self, connection_id: int) -> None:
+        self._service.release(connection_id)
+        self._shadow.release(connection_id)
+        self._compare_state("release")
+
+    def fail_link(self, link_id: int, reconfigure: bool = True):
+        impact = self._service.fail_link(link_id, reconfigure=reconfigure)
+        shadow_impact = self._shadow.fail_link(
+            link_id, reconfigure=reconfigure
+        )
+        self._expect(
+            "fail_link", "impact", _impact_key(impact),
+            _impact_key(shadow_impact),
+        )
+        self._compare_state("fail_link")
+        return impact
+
+    def fail_node(self, node: int, reconfigure: bool = True):
+        impact = self._service.fail_node(node, reconfigure=reconfigure)
+        shadow_impact = self._shadow.fail_node(
+            node, reconfigure=reconfigure
+        )
+        self._expect(
+            "fail_node", "impact", _impact_key(impact),
+            _impact_key(shadow_impact),
+        )
+        self._compare_state("fail_node")
+        return impact
+
+    def repair_link(self, link_id: int) -> None:
+        self._service.repair_link(link_id)
+        self._shadow.repair_link(link_id)
+        self._compare_state("repair_link")
+
+    def repair_node(self, node: int) -> None:
+        self._service.repair_node(node)
+        self._shadow.repair_node(node)
+        self._compare_state("repair_node")
+
+    def reestablish_backup(self, connection_id: int) -> bool:
+        restored = self._service.reestablish_backup(connection_id)
+        shadow_restored = self._shadow.reestablish_backup(connection_id)
+        self._expect(
+            "reestablish_backup", "result", restored, shadow_restored
+        )
+        self._compare_state("reestablish_backup")
+        return restored
+
+    def refresh_database(self) -> None:
+        self._service.refresh_database()
+        self._shadow.refresh_database()
+        self._compare_state("refresh_database")
+
+    # ------------------------------------------------------------------
+    # Comparison machinery
+    # ------------------------------------------------------------------
+    def _expect(self, op: str, what: str, fast, naive) -> None:
+        if fast != naive:
+            raise OracleDivergence(
+                "after {} (operation #{}): {} diverged\n"
+                "  fast path: {!r}\n"
+                "  reference: {!r}".format(
+                    op, self.operations + 1, what, fast, naive
+                )
+            )
+        self.checks += 1
+
+    def _compare_decisions(self, op, decision, shadow_decision) -> None:
+        self._expect(op, "accepted", decision.accepted,
+                     shadow_decision.accepted)
+        self._expect(op, "reason", decision.reason, shadow_decision.reason)
+        self._expect(op, "degraded", decision.degraded,
+                     shadow_decision.degraded)
+        self._expect(
+            op, "primary route",
+            _route_key(decision.plan.primary),
+            _route_key(shadow_decision.plan.primary),
+        )
+        self._expect(
+            op, "backup routes",
+            tuple(_route_key(r) for r in decision.plan.all_backups),
+            tuple(_route_key(r) for r in shadow_decision.plan.all_backups),
+        )
+
+    def _compare_state(self, op: str) -> None:
+        self._expect(
+            op, "state fingerprint",
+            self._service.state.fingerprint(),
+            self._shadow.state.fingerprint(),
+        )
+        if self._check_database:
+            self._verify_ledgers(op)
+        self.operations += 1
+
+    def _verify_ledgers(self, op: str) -> None:
+        """Diff every ledger's incremental state, and the fast
+        database's records, against rebuild-from-scratch truth."""
+        database = self._service.database
+        for ledger in self._service.state.ledgers():
+            truth = rebuilt_aplv(ledger)
+            link_id = ledger.link_id
+            self._expect(
+                op, "APLV of link {}".format(link_id),
+                ledger.aplv.to_dense(), truth.to_dense(),
+            )
+            self._expect(
+                op, "CV of link {}".format(link_id),
+                ledger.conflict_vector().bits, truth.support(),
+            )
+            if database.live and not database.stale:
+                self._expect(
+                    op, "database l1 of link {}".format(link_id),
+                    database.aplv_l1(link_id), truth.l1_norm,
+                )
+                self._expect(
+                    op, "database CV of link {}".format(link_id),
+                    database.conflict_vector(link_id).bits,
+                    truth.support(),
+                )
+                shadow_db = self._shadow.database
+                self._expect(
+                    op, "primary headroom of link {}".format(link_id),
+                    database.primary_headroom(link_id),
+                    shadow_db.primary_headroom(link_id),
+                )
+                self._expect(
+                    op, "backup headroom of link {}".format(link_id),
+                    database.backup_headroom(link_id),
+                    shadow_db.backup_headroom(link_id),
+                )
+
+    # ------------------------------------------------------------------
+    # Pass-through
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._service, name)

@@ -1,0 +1,232 @@
+"""Naive reference implementations for differential testing.
+
+The fast-path routing engine earns its speed from three pieces of
+incrementally-maintained state: per-ledger APLVs updated by deltas,
+support-versioned Conflict-Vector caches, and per-network Dijkstra
+workspaces with cached adjacency.  Each of those is exactly the kind
+of state that can silently drift from the truth.  This module keeps
+the *truth*: rebuild-from-scratch counterparts with no caches and no
+incremental state, against which
+:class:`~repro.testing.oracle.DifferentialOracle` diffs the fast path
+after every operation.
+
+``naive_shortest_path`` and ``naive_bounded_shortest_path`` are the
+pre-optimization searches, preserved verbatim (dict-based distance
+maps, adjacency re-materialized from the topology on every expansion).
+Their tie-breaking — heap insertion counter over ``network.out_links``
+order — is the contract the fast searches must reproduce bit for bit.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from itertools import count
+from typing import Optional
+
+from ..core.service import DRTPService
+from ..network.aplv import APLV
+from ..network.conflict_vector import ConflictVector
+from ..network.database import LinkStateDatabase
+from ..network.state import LinkLedger
+from ..routing.base import RoutingContext
+from ..topology.graph import Network, Route
+from ..routing.dijkstra import LinkCost, hop_cost
+
+
+def naive_shortest_path(
+    network: Network,
+    source: int,
+    destination: int,
+    link_cost: LinkCost = hop_cost,
+) -> Optional[Route]:
+    """The textbook dict-based Dijkstra the fast search replaced.
+
+    No cached adjacency, no reused arrays: every call allocates fresh
+    ``dist``/``parent`` dicts and walks ``network.out_links`` directly.
+    """
+    network._check_node(source)
+    network._check_node(destination)
+    if source == destination:
+        raise ValueError("source and destination must differ")
+
+    counter = count()
+    dist: dict = {source: ()}
+    parent: dict = {}
+    heap = [((), next(counter), source)]
+    visited = set()
+    while heap:
+        cost, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            return _unwind(source, destination, parent)
+        for link in network.out_links(node):
+            if link.dst in visited:
+                continue
+            step = link_cost(link)
+            if step is None:
+                continue
+            if cost:
+                new_cost = tuple(a + b for a, b in zip(cost, step))
+            else:
+                new_cost = tuple(step)
+            old = dist.get(link.dst)
+            if old is None or new_cost < old:
+                dist[link.dst] = new_cost
+                parent[link.dst] = (node, link.link_id)
+                heapq.heappush(heap, (new_cost, next(counter), link.dst))
+    return None
+
+
+def _unwind(source: int, destination: int, parent: dict) -> Route:
+    nodes = [destination]
+    links = []
+    node = destination
+    while node != source:
+        prev, link_id = parent[node]
+        nodes.append(prev)
+        links.append(link_id)
+        node = prev
+    nodes.reverse()
+    links.reverse()
+    return Route(nodes=tuple(nodes), link_ids=tuple(links))
+
+
+def naive_bounded_shortest_path(
+    network: Network,
+    source: int,
+    destination: int,
+    link_cost: LinkCost,
+    max_hops: int,
+) -> Optional[Route]:
+    """The pre-optimization layered ``(node, hops)`` bounded search."""
+    network._check_node(source)
+    network._check_node(destination)
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    if max_hops < 1:
+        return None
+
+    counter = count()
+    dist: dict = {(source, 0): ()}
+    parent: dict = {}
+    heap = [((), next(counter), source, 0)]
+    best_goal = None  # (cost, node, hops)
+    while heap:
+        cost, _, node, hops = heapq.heappop(heap)
+        if best_goal is not None and cost >= best_goal[0]:
+            break
+        if node == destination:
+            best_goal = (cost, node, hops)
+            continue
+        if hops == max_hops:
+            continue
+        if dist.get((node, hops), None) is not None and cost > dist[(node, hops)]:
+            continue
+        for link in network.out_links(node):
+            step = link_cost(link)
+            if step is None:
+                continue
+            if cost:
+                new_cost = tuple(a + b for a, b in zip(cost, step))
+            else:
+                new_cost = tuple(step)
+            state = (link.dst, hops + 1)
+            old = dist.get(state)
+            if old is None or new_cost < old:
+                dist[state] = new_cost
+                parent[state] = (node, hops, link.link_id)
+                heapq.heappush(
+                    heap, (new_cost, next(counter), link.dst, hops + 1)
+                )
+    if best_goal is None:
+        return None
+    _, node, hops = best_goal
+    nodes = [node]
+    links = []
+    state = (node, hops)
+    while state in parent:
+        prev_node, prev_hops, link_id = parent[state]
+        nodes.append(prev_node)
+        links.append(link_id)
+        state = (prev_node, prev_hops)
+    nodes.reverse()
+    links.reverse()
+    if len(set(nodes)) != len(nodes):
+        return None
+    return Route(nodes=tuple(nodes), link_ids=tuple(links))
+
+
+def rebuilt_aplv(ledger: LinkLedger) -> APLV:
+    """Rebuild the ledger's APLV from first principles: re-accumulate
+    every registered backup's primary ``LSET`` into a fresh vector.
+    The incremental vector the ledger maintains must equal this
+    exactly, element for element."""
+    return APLV.from_lsets(
+        ledger.aplv.num_links,
+        (lset for lset in ledger.backups().values()),
+    )
+
+
+class ReferenceDatabase(LinkStateDatabase):
+    """A link-state database with no incremental state.
+
+    Every APLV/CV read rebuilds the vector from the ledger's backup
+    registry — the naive O(|registry|·|LSET|) path the incremental
+    engine replaced.  Reads are slow and always exact, which is the
+    point: a shadow service routing from this database computes the
+    ground-truth decision.
+    """
+
+    def __init__(self, state) -> None:
+        super().__init__(state, live=True)
+
+    def aplv_l1(self, link_id: int) -> int:
+        return rebuilt_aplv(self._state.ledger(link_id)).l1_norm
+
+    def conflict_vector(self, link_id: int) -> ConflictVector:
+        return ConflictVector.from_aplv(
+            rebuilt_aplv(self._state.ledger(link_id))
+        )
+
+    def conflict_count(self, link_id: int, primary_lset) -> int:
+        return rebuilt_aplv(self._state.ledger(link_id)).conflict_count(
+            primary_lset
+        )
+
+
+def make_reference_service(service: DRTPService) -> DRTPService:
+    """A shadow :class:`DRTPService` computing ground truth.
+
+    The shadow shares nothing mutable with ``service``: it owns a
+    fresh :class:`~repro.network.state.NetworkState` over the same
+    (immutable) topology, a :class:`ReferenceDatabase`, a copy of the
+    spare policy, and a copy of the routing scheme whose search hooks
+    are overridden with the naive reference searches.  Replaying the
+    same operations through both must produce bit-identical decisions
+    and state fingerprints.
+
+    Fault injection is deliberately not carried over: the injector
+    draws from a shared RNG, so two services would observe different
+    fault sequences and diverge by design.  The oracle refuses faulted
+    services for the same reason.
+    """
+    scheme = copy.copy(service.scheme)
+    shadow = DRTPService(
+        service.network,
+        scheme,
+        spare_policy=copy.copy(service.spare_policy),
+        require_backup=service._admission._require_backup,
+        live_database=True,
+        qos_slack=service.qos_slack,
+    )
+    shadow.state.unsubscribe(shadow.database._mark_dirty)
+    shadow.database = ReferenceDatabase(shadow.state)
+    # Instance-attribute functions shadow the class staticmethod hooks
+    # without binding, so the naive searches slot straight in.
+    scheme.search_unbounded = naive_shortest_path
+    scheme.search_bounded = naive_bounded_shortest_path
+    scheme.bind(RoutingContext(service.network, shadow.state, shadow.database))
+    return shadow

@@ -1,0 +1,128 @@
+"""Seeded golden-trace tests: routing decisions pinned per scheme.
+
+Each scheme (P-LSR, D-LSR, BF) replays one small deterministic
+scenario — seeded Poisson arrivals on the 4x4 mesh plus a scripted
+link failure/repair — under a :class:`TracingService`, and the full
+admission/recovery/release event trace is diffed *exactly* against a
+committed JSONL fixture.  Any refactor that silently changes a routing
+decision, a tie-break, an activation outcome, or event ordering fails
+here with the first differing event.
+
+Regenerating fixtures (after an *intentional* behavior change)::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+
+then review the fixture diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import DRTPService
+from repro.experiments import make_scheme
+from repro.simulation import (
+    ScenarioSimulator,
+    Tracer,
+    TracingService,
+    generate_scenario,
+)
+from repro.simulation.arrivals import HoldingTimeDistribution
+from repro.simulation.scenario import LinkEvent
+from repro.topology import mesh_network
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SCHEMES = ("P-LSR", "D-LSR", "BF")
+
+
+def golden_path(scheme_name: str) -> Path:
+    return GOLDEN_DIR / "trace_{}.jsonl".format(
+        scheme_name.lower().replace("-", "_")
+    )
+
+
+def run_traced_scenario(scheme_name: str) -> Tracer:
+    """One deterministic replay: 4x4 mesh, seeded arrivals, one
+    scripted mid-run link failure and repair."""
+    net = mesh_network(4, 4, capacity=8.0)
+    scenario = generate_scenario(
+        num_nodes=net.num_nodes,
+        arrival_rate=0.5,
+        duration=120.0,
+        bw_req=1.0,
+        pattern="UT",
+        # Short lifetimes so the trace pins teardown ordering too.
+        holding=HoldingTimeDistribution(minimum=20.0, maximum=80.0),
+        seed=97,
+    )
+    scenario.link_events.extend(
+        [LinkEvent(time=55.0, link_id=5, action="fail"),
+         LinkEvent(time=90.0, link_id=5, action="repair")]
+    )
+    tracer = Tracer()
+    service = TracingService(
+        DRTPService(net, make_scheme(scheme_name)), tracer
+    )
+    simulator = ScenarioSimulator(service, scenario, check_invariants=True)
+    simulator.run()
+    return tracer
+
+
+def serialize(tracer: Tracer) -> str:
+    return "".join(event.to_json() + "\n" for event in tracer)
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_golden_trace(scheme_name):
+    tracer = run_traced_scenario(scheme_name)
+    actual = serialize(tracer)
+    path = golden_path(scheme_name)
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+        pytest.skip("regenerated {}".format(path.name))
+    assert path.exists(), (
+        "missing golden fixture {}; run with REGEN_GOLDEN=1 to create "
+        "it".format(path.name)
+    )
+    expected = path.read_text()
+    if actual != expected:
+        actual_lines = actual.splitlines()
+        expected_lines = expected.splitlines()
+        for index, (a, e) in enumerate(zip(actual_lines, expected_lines)):
+            assert a == e, (
+                "trace diverges from golden fixture at event {}:\n"
+                "  expected: {}\n"
+                "  actual:   {}".format(index, e, a)
+            )
+        assert len(actual_lines) == len(expected_lines), (
+            "trace length changed: {} events vs {} golden".format(
+                len(actual_lines), len(expected_lines)
+            )
+        )
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_golden_trace_is_reproducible(scheme_name):
+    """The same seeded scenario produces byte-identical traces on
+    back-to-back runs — the determinism the fixtures rely on."""
+    first = serialize(run_traced_scenario(scheme_name))
+    second = serialize(run_traced_scenario(scheme_name))
+    assert first == second
+
+
+def test_fixtures_have_meaningful_coverage():
+    """Golden traces must actually exercise admission, recovery and
+    release — an empty or trivial fixture would pin nothing."""
+    for scheme_name in SCHEMES:
+        path = golden_path(scheme_name)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in path.read_text().splitlines()
+        }
+        assert "admitted" in kinds
+        assert "released" in kinds
+        assert "link-failed" in kinds
