@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench campaign campaign-paper chaos-quick examples clean
+.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick examples clean
 
 install:
 	pip install -e '.[test]'
@@ -13,6 +13,9 @@ bench:
 
 campaign:
 	python -m repro.experiments.run_all --scale quick
+
+campaign-sharded:
+	python -m repro campaign run --scale quick --jobs 4 --dir out/campaign_quick
 
 campaign-paper:
 	python -m repro.experiments.run_all --scale paper

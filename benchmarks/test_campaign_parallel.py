@@ -1,0 +1,107 @@
+"""Campaign sharding benchmark: parallel workers vs the sequential path.
+
+Runs the same reduced quick-scale figure grid twice through the
+campaign orchestrator — once inline (``jobs=1``, the sequential path
+``run_all`` uses by default) and once across 4 worker processes — and
+records the wall-clock ratio in
+``benchmarks/results/campaign_parallel.json`` (committed, so CI keeps
+an auditable record).
+
+Acceptance gate: **>= 2x speedup with 4 workers**, enforced only where
+at least 4 CPUs are actually available (CI runners have 4 vCPUs; a
+1-CPU container still records the measurement but skips the gate —
+parallel speedup on a single core would measure scheduler overhead,
+not the orchestrator).
+
+The run also re-checks equivalence: both paths must produce
+byte-identical merged CSVs, so the speedup is never bought with a
+results drift.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_campaign_parallel.py -v
+
+(``benchmarks/`` is outside the default ``testpaths``, so the tier-1
+suite stays fast; CI invokes this file explicitly.)
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign_jobs
+
+RESULTS_PATH = Path(__file__).parent / "results" / "campaign_parallel.json"
+
+WORKERS = 4
+
+#: Reduced quick-scale grid: 1 degree x 2 patterns x 3 rates = 6 cells,
+#: enough work per worker that pool overhead is amortized.
+SPEC = CampaignSpec(
+    scale="quick", degrees=(3,), patterns=("UT", "NT"),
+    lambdas=(0.3, 0.5, 0.7), master_seed=7,
+)
+
+OUTPUT_FILES = ("figure4_E3.csv", "figure5_E3.csv", "campaign_points.csv")
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(campaign_dir, jobs):
+    start = time.perf_counter()
+    result = run_campaign_jobs(SPEC, campaign_dir, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    assert result.complete
+    return elapsed, result
+
+
+def test_campaign_parallel_speedup(tmp_path):
+    cpus = _available_cpus()
+    sequential_s, sequential = _timed_run(tmp_path / "seq", jobs=1)
+    parallel_s, parallel = _timed_run(tmp_path / "par", jobs=WORKERS)
+
+    for name in OUTPUT_FILES:
+        assert (
+            (Path(sequential.campaign_dir) / name).read_bytes()
+            == (Path(parallel.campaign_dir) / name).read_bytes()
+        ), "parallel campaign drifted from sequential in {}".format(name)
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    record = {
+        "spec": SPEC.to_dict(),
+        "cells": len(SPEC.jobs()),
+        "workers": WORKERS,
+        "available_cpus": cpus,
+        "sequential_seconds": round(sequential_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "gate": ">= 2.0x with {} workers (enforced when >= {} CPUs)".format(
+            WORKERS, WORKERS
+        ),
+        "gate_enforced": cpus >= WORKERS,
+        "outputs_bit_identical": True,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    if cpus < WORKERS:
+        pytest.skip(
+            "only {} CPU(s) available; measurement recorded, >= 2x gate "
+            "needs {} CPUs".format(cpus, WORKERS)
+        )
+    assert speedup >= 2.0, (
+        "expected >= 2x speedup with {} workers, got {:.2f}x "
+        "({:.1f}s sequential vs {:.1f}s parallel)".format(
+            WORKERS, speedup, sequential_s, parallel_s
+        )
+    )

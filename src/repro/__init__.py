@@ -82,6 +82,12 @@ from .faults import (
     RetryPolicy,
     run_campaign,
 )
+from .campaign import (
+    CampaignSpec,
+    campaign_status,
+    resume_campaign,
+    run_campaign_jobs,
+)
 
 __version__ = "1.0.0"
 
@@ -138,4 +144,9 @@ __all__ = [
     "RetryPolicy",
     "CampaignConfig",
     "run_campaign",
+    # sharded campaigns
+    "CampaignSpec",
+    "run_campaign_jobs",
+    "resume_campaign",
+    "campaign_status",
 ]

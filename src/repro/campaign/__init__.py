@@ -1,0 +1,70 @@
+"""Sharded parallel campaign orchestration with checkpoint/resume.
+
+The paper's evaluation is one large grid of independent simulation
+cells; this package shards the grid over a multiprocessing worker
+pool, checkpoints every completed cell to an append-only JSONL
+journal, reports live progress (stderr + ``campaign_manifest.json``),
+and deterministically merges the shards back into figure panels and
+tables that are bit-identical to the sequential path.
+
+Entry points: :func:`run_campaign_jobs` / :func:`resume_campaign` /
+:func:`campaign_status` (also exposed as ``repro campaign
+run|resume|status`` and ``run_all --jobs N``).
+"""
+
+from .jobs import (
+    CampaignError,
+    CampaignSpec,
+    CellJob,
+    execute_job,
+    point_from_dict,
+    point_to_dict,
+)
+from .journal import CampaignJournal, JournalState
+from .merge import (
+    POINT_COLUMNS,
+    figure_curves,
+    merged_observer_stats,
+    points_rows,
+    prime_sweep_caches,
+    restore_points,
+    write_outputs,
+)
+from .orchestrator import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    CampaignResult,
+    campaign_status,
+    resume_campaign,
+    run_campaign_jobs,
+)
+from .pool import DEFAULT_RETRY_POLICY, PoolEvents, WorkerPool
+from .progress import ProgressReporter
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "CellJob",
+    "execute_job",
+    "point_to_dict",
+    "point_from_dict",
+    "CampaignJournal",
+    "JournalState",
+    "POINT_COLUMNS",
+    "figure_curves",
+    "points_rows",
+    "merged_observer_stats",
+    "restore_points",
+    "prime_sweep_caches",
+    "write_outputs",
+    "CampaignResult",
+    "run_campaign_jobs",
+    "resume_campaign",
+    "campaign_status",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "WorkerPool",
+    "PoolEvents",
+    "DEFAULT_RETRY_POLICY",
+    "ProgressReporter",
+]

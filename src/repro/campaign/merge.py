@@ -1,0 +1,177 @@
+"""Deterministic reassembly of sharded campaign results.
+
+Workers hand back per-cell :class:`PointResult` payloads in whatever
+order they finish; this module puts them back together in the exact
+shape — and the exact bits — the sequential path produces:
+
+* figure panels via :func:`repro.experiments.sweep.collect_curves`
+  (the same indexing the figure builders use);
+* a flat, stably-ordered points table (one row per scheme x cell);
+* merged fault-tolerance observer stats per scheme
+  (:meth:`FaultToleranceStats.merge` over cells in grid order);
+* CSV panels on disk via the standard exporters, plus priming of the
+  sweep cell cache so ``run_all``'s figure builders reuse the
+  parallel results without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..analysis.fault_tolerance import FaultToleranceStats
+from ..experiments.export import write_panel_csv
+from ..experiments.sweep import (
+    PointResult,
+    collect_curves,
+    prime_cell_cache,
+)
+from .jobs import CampaignError, CampaignSpec, CellJob, point_from_dict
+
+#: Stable column order of the merged points table.
+POINT_COLUMNS: Tuple[str, ...] = (
+    "scheme",
+    "degree",
+    "pattern",
+    "lam",
+    "fault_tolerance",
+    "overhead_percent",
+    "acceptance_ratio",
+    "mean_active",
+    "baseline_mean_active",
+    "messages_per_request",
+    "mean_spare_fraction",
+)
+
+CellPoints = Dict[str, Dict[str, PointResult]]  # job_id -> scheme -> point
+
+
+def restore_points(spec: CampaignSpec, cells: Dict[str, Dict]) -> CellPoints:
+    """Deserialize journal/queue cell records into PointResults,
+    verifying the campaign is complete."""
+    restored: CellPoints = {}
+    missing: List[str] = []
+    for job in spec.jobs():
+        record = cells.get(job.job_id)
+        if record is None:
+            missing.append(job.job_id)
+            continue
+        restored[job.job_id] = {
+            name: point_from_dict(data)
+            for name, data in record["points"].items()
+        }
+    if missing:
+        raise CampaignError(
+            "cannot merge an incomplete campaign: {} of {} cells missing "
+            "({}{})".format(
+                len(missing), len(spec.jobs()), ", ".join(missing[:4]),
+                ", ..." if len(missing) > 4 else "",
+            )
+        )
+    return restored
+
+
+def _panel_points(
+    spec: CampaignSpec, points: CellPoints, degree: int
+) -> List[PointResult]:
+    """One degree's points in the sequential ``run_panel`` order."""
+    out: List[PointResult] = []
+    for job in spec.jobs():
+        if job.degree != degree:
+            continue
+        out.extend(points[job.job_id][name] for name in spec.schemes)
+    return out
+
+
+def figure_curves(
+    spec: CampaignSpec, points: CellPoints
+) -> Dict[str, Dict[int, Dict[Tuple[str, str], List[float]]]]:
+    """``{"figure4"|"figure5": {degree: panel curves}}`` —
+    bit-identical to the sequential figure builders."""
+    curves: Dict[str, Dict[int, Dict]] = {"figure4": {}, "figure5": {}}
+    for degree in spec.degrees:
+        panel = _panel_points(spec, points, degree)
+        lams = spec.cell_lambdas(degree)
+        curves["figure4"][degree] = collect_curves(
+            panel, lams, spec.patterns, spec.schemes, "fault_tolerance"
+        )
+        curves["figure5"][degree] = collect_curves(
+            panel, lams, spec.patterns, spec.schemes, "overhead_percent"
+        )
+    return curves
+
+
+def points_rows(
+    spec: CampaignSpec, points: CellPoints
+) -> Tuple[Tuple[str, ...], List[List]]:
+    """The merged points table in stable (grid, scheme) order."""
+    rows: List[List] = []
+    for job in spec.jobs():
+        for name in spec.schemes:
+            point = points[job.job_id][name]
+            rows.append([getattr(point, column) for column in POINT_COLUMNS])
+    return POINT_COLUMNS, rows
+
+
+def merged_observer_stats(
+    spec: CampaignSpec, points: CellPoints
+) -> Dict[str, Dict]:
+    """Per-scheme fault-tolerance stats merged over every cell."""
+    merged: Dict[str, FaultToleranceStats] = {}
+    for job in spec.jobs():
+        for name in spec.schemes:
+            stats = merged.setdefault(name, FaultToleranceStats())
+            stats.merge(points[job.job_id][name].ft_stats)
+    return {
+        name: {
+            "attempts": stats.attempts,
+            "successes": stats.successes,
+            "p_act_bk": stats.p_act_bk,
+            "links_swept": stats.links_swept,
+            "snapshots": stats.snapshots,
+            "failures_by_reason": dict(
+                sorted(stats.failures_by_reason.items())
+            ),
+        }
+        for name, stats in sorted(merged.items())
+    }
+
+
+def prime_sweep_caches(spec: CampaignSpec, points: CellPoints) -> None:
+    """Install every merged cell into the sweep cache so the figure /
+    export builders replay nothing."""
+    for job in spec.jobs():
+        prime_cell_cache(
+            job.cell_spec,
+            spec.schemes,
+            spec.experiment_scale,
+            spec.master_seed,
+            points[job.job_id],
+        )
+
+
+def write_outputs(
+    output_dir: Union[str, Path], spec: CampaignSpec, points: CellPoints
+) -> List[Path]:
+    """Write the merged artifacts: per-degree figure CSV panels (via
+    the standard exporter) and the flat points table."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    curves = figure_curves(spec, points)
+    for figure in ("figure4", "figure5"):
+        for degree in spec.degrees:
+            path = out / "{}_E{}.csv".format(figure, degree)
+            write_panel_csv(
+                path, curves[figure][degree], spec.cell_lambdas(degree)
+            )
+            written.append(path)
+    header, rows = points_rows(spec, points)
+    table = out / "campaign_points.csv"
+    with open(table, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    written.append(table)
+    return written

@@ -1,0 +1,266 @@
+"""Multiprocessing work-queue pool with retry-on-worker-failure.
+
+Deliberately minimal compared to ``multiprocessing.Pool``: jobs are
+dicts, workers are OS processes running a module-level ``runner``
+callable, and the orchestrating process is the only writer of
+journal/manifest state.  What the stdlib pool does not give us — and
+this one does — is *job-granular fault tolerance*: a worker that
+raises reports the traceback and keeps serving; a worker that dies
+outright (segfault, OOM-kill, ``kill -9``) is detected by liveness
+polling, its in-flight job is re-queued, and a replacement worker is
+spawned.  Retries follow a :class:`repro.faults.retry.RetryPolicy`
+with deterministically seeded backoff jitter — the same policy the
+DRTP control plane uses for lossy signaling.
+
+Dispatch is parent-driven: each worker has a private job queue and the
+parent records which job it handed to which worker *before* sending
+it.  A shared queue would leave the parent guessing — a worker killed
+between dequeuing a job and announcing it would silently strand that
+job (worker-to-parent queues flush through a feeder thread, so even a
+"started" message sent before the crash may never arrive).  Here the
+assignment table lives in the parent, so a dead worker's job is always
+known and re-queued.  Replacement workers get a fresh queue and a new
+generation tag; messages from abandoned generations are ignored, so a
+straggling result from a worker presumed dead cannot be double-counted
+against the retried job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..faults.retry import RetryPolicy
+from ..simulation.rng import seeded_rng
+from .jobs import CampaignError
+
+#: Default retry policy for failed jobs: a handful of quick attempts;
+#: campaign cells are deterministic, so retries only help against
+#: *environmental* failures (worker killed, transient OS errors).
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.1, max_delay=2.0, deadline=60.0
+)
+
+
+@dataclass
+class PoolEvents:
+    """Observer hooks (all optional) for progress telemetry."""
+
+    on_started: Optional[Callable[[int, Dict], None]] = None
+    on_completed: Optional[Callable[[int, Dict, Dict, float, int], None]] = None
+    on_retry: Optional[Callable[[Dict, int, str], None]] = None
+
+
+def _worker_main(worker_id, generation, runner, job_queue, result_queue):
+    """Worker loop: run jobs until the ``None`` sentinel arrives."""
+    while True:
+        job = job_queue.get()
+        if job is None:
+            break
+        started = time.monotonic()
+        try:
+            payload = runner(job)
+        except Exception:
+            result_queue.put(
+                ("error", worker_id, generation, job["index"],
+                 traceback.format_exc())
+            )
+        else:
+            result_queue.put(
+                ("done", worker_id, generation, job["index"],
+                 (payload, time.monotonic() - started))
+            )
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class WorkerPool:
+    """Run jobs across ``workers`` processes with per-job retries.
+
+    ``runner`` must be a module-level callable (picklable by
+    reference) taking one job dict and returning a result payload.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Dict], Dict],
+        workers: int,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        events: Optional[PoolEvents] = None,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("worker pool needs at least one worker")
+        self.runner = runner
+        self.workers = workers
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self._retry_rng = seeded_rng(retry_seed, "campaign", "retry")
+        self.events = events or PoolEvents()
+        self.poll_interval = poll_interval
+
+    # -- internals ------------------------------------------------------
+    def _spawn(self, ctx, worker_id, generation, job_queue, result_queue):
+        process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, generation, self.runner, job_queue, result_queue),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _dispatch(self, worker_id, worker_queues, assigned, pending) -> None:
+        if not pending or worker_id in assigned:
+            return
+        job = pending.popleft()
+        assigned[worker_id] = job
+        worker_queues[worker_id].put(job)
+        if self.events.on_started:
+            self.events.on_started(worker_id, job)
+
+    def run(
+        self,
+        jobs: Sequence[Dict],
+        on_result: Callable[[Dict, Dict, int, float, int], None],
+        stop_after: Optional[int] = None,
+    ) -> int:
+        """Dispatch every job; call ``on_result(job, payload, worker,
+        elapsed, attempts)`` in the orchestrating process as each
+        completes.  ``stop_after`` ends the run early after that many
+        completions (simulating an interrupted campaign in tests).
+        Returns the number of completed jobs.
+        """
+        if len({job["index"] for job in jobs}) != len(jobs):
+            raise CampaignError("duplicate job indices in the work list")
+        ctx = multiprocessing.get_context(_start_method())
+        result_queue = ctx.Queue()
+        worker_queues = {wid: ctx.Queue() for wid in range(self.workers)}
+        generations = {wid: 0 for wid in range(self.workers)}
+        processes = {}
+        pending = deque(jobs)
+        assigned: Dict[int, Dict] = {}
+        attempts: Dict[int, int] = {}
+        first_failure_at: Dict[int, float] = {}
+        completed = 0
+        remaining = len(jobs)
+        try:
+            for wid in range(self.workers):
+                processes[wid] = self._spawn(
+                    ctx, wid, generations[wid], worker_queues[wid],
+                    result_queue,
+                )
+                self._dispatch(wid, worker_queues, assigned, pending)
+
+            while remaining > 0:
+                try:
+                    kind, wid, generation, index, extra = result_queue.get(
+                        timeout=self.poll_interval
+                    )
+                except queue_module.Empty:
+                    self._reap_dead_workers(
+                        ctx, processes, worker_queues, generations,
+                        assigned, pending, attempts, first_failure_at,
+                        result_queue,
+                    )
+                    continue
+                if generation != generations[wid]:
+                    continue  # straggler from an abandoned worker
+                job = assigned.pop(wid, None)
+                if job is None or job["index"] != index:
+                    raise CampaignError(
+                        "worker {} reported job {} it was never "
+                        "assigned".format(wid, index)
+                    )
+                if kind == "done":
+                    payload, elapsed = extra
+                    completed += 1
+                    remaining -= 1
+                    n_attempts = attempts.get(index, 0) + 1
+                    on_result(job, payload, wid, elapsed, n_attempts)
+                    if self.events.on_completed:
+                        self.events.on_completed(
+                            wid, job, payload, elapsed, n_attempts
+                        )
+                    if stop_after is not None and completed >= stop_after:
+                        return completed
+                else:  # "error"
+                    self._handle_failure(
+                        job, extra, attempts, first_failure_at, pending
+                    )
+                self._dispatch(wid, worker_queues, assigned, pending)
+            return completed
+        finally:
+            self._shutdown(processes, worker_queues)
+
+    def _handle_failure(
+        self, job, reason, attempts, first_failure_at, pending
+    ) -> None:
+        index = job["index"]
+        attempts[index] = attempts.get(index, 0) + 1
+        now = time.monotonic()
+        first_failure_at.setdefault(index, now)
+        elapsed = now - first_failure_at[index]
+        if self.retry_policy.gives_up(attempts[index], elapsed):
+            raise CampaignError(
+                "job {} failed {} time(s), giving up; last "
+                "failure:\n{}".format(
+                    job.get("job_id", index), attempts[index], reason
+                )
+            )
+        if self.events.on_retry:
+            self.events.on_retry(job, attempts[index], reason)
+        time.sleep(self.retry_policy.backoff(attempts[index], self._retry_rng))
+        pending.append(job)
+
+    def _reap_dead_workers(
+        self, ctx, processes, worker_queues, generations, assigned,
+        pending, attempts, first_failure_at, result_queue,
+    ) -> None:
+        for wid, process in list(processes.items()):
+            if process.is_alive():
+                continue
+            # Abandon the dead worker's queue (a job dispatched after
+            # its death may be stuck in it) and bump the generation so
+            # any result it managed to flush before dying is ignored.
+            worker_queues[wid].cancel_join_thread()
+            generations[wid] += 1
+            worker_queues[wid] = ctx.Queue()
+            job = assigned.pop(wid, None)
+            if job is not None:
+                self._handle_failure(
+                    job,
+                    "worker {} died (exit code {})".format(
+                        wid, process.exitcode
+                    ),
+                    attempts, first_failure_at, pending,
+                )
+            processes[wid] = self._spawn(
+                ctx, wid, generations[wid], worker_queues[wid], result_queue
+            )
+            self._dispatch(wid, worker_queues, assigned, pending)
+
+    def _shutdown(self, processes, worker_queues) -> None:
+        for wid in processes:
+            try:
+                worker_queues[wid].put_nowait(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for process in processes.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        # A terminated worker never drained its queue; without this the
+        # parent's queue feeder threads could block interpreter exit.
+        for job_queue in worker_queues.values():
+            job_queue.cancel_join_thread()

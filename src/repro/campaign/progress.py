@@ -1,0 +1,149 @@
+"""Live campaign telemetry: stderr progress lines + manifest snapshot.
+
+The reporter is fed by pool events in the orchestrating process and
+renders two views of the same counters:
+
+* throttled single-line updates on a stream (stderr by default) —
+  cells done/total, throughput, ETA, per-worker status;
+* :meth:`ProgressReporter.snapshot`, the machine-readable dict the
+  orchestrator embeds in ``campaign_manifest.json`` after every
+  checkpoint, so ``repro campaign status`` can report on a live (or
+  killed) run from disk alone.
+
+Wall-clock comes from an injectable ``clock`` so tests can drive it
+deterministically.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, IO, Optional
+
+IDLE = "idle"
+
+
+class ProgressReporter:
+    """Counters + rendering for one campaign run."""
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        initial_done: int = 0,
+    ) -> None:
+        """``initial_done`` counts cells restored from a checkpoint
+        journal on resume: they show in done/total but are excluded
+        from throughput/ETA, which describe *this* run."""
+        self.total = total
+        self.workers = workers
+        self.stream = sys.stderr if stream is None else stream
+        self.min_interval = min_interval
+        self.clock = clock
+        self.started_at = clock()
+        self.initial_done = initial_done
+        self.done = initial_done
+        self.retries = 0
+        self.worker_status: Dict[int, str] = {
+            worker_id: IDLE for worker_id in range(workers)
+        }
+        self._last_emit: Optional[float] = None
+
+    # -- event feed -----------------------------------------------------
+    def on_started(self, worker_id: int, job: Dict) -> None:
+        self.worker_status[worker_id] = job.get("job_id", "?")
+        self._emit()
+
+    def on_completed(
+        self, worker_id: int, job: Dict, payload: Dict, elapsed: float,
+        attempts: int,
+    ) -> None:
+        self.worker_status[worker_id] = IDLE
+        self.done += 1
+        # Completions always render: they are the checkpoints a user
+        # watches for, and the final line must show 100 %.
+        self._emit(force=True)
+
+    def on_retry(self, job: Dict, attempt: int, reason: str) -> None:
+        self.retries += 1
+        self.stream.write(
+            "[campaign] retrying {} (attempt {}): {}\n".format(
+                job.get("job_id", "?"), attempt + 1,
+                reason.strip().splitlines()[-1] if reason.strip() else "?",
+            )
+        )
+        self.stream.flush()
+
+    # -- derived metrics ------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        return self.clock() - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Completed cells per second of this run's wall-clock."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return 0.0
+        return (self.done - self.initial_done) / elapsed
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to completion (None until measurable)."""
+        if self.done <= self.initial_done or self.throughput <= 0:
+            return None
+        return (self.total - self.done) / self.throughput
+
+    def render(self) -> str:
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        eta = self.eta_seconds
+        fields = [
+            "{}/{} cells ({:.0f}%)".format(self.done, self.total, percent),
+            "{:.2f} cells/s".format(self.throughput),
+            "ETA {}".format("{:.0f}s".format(eta) if eta is not None else "?"),
+        ]
+        if self.retries:
+            fields.append("{} retr{}".format(
+                self.retries, "y" if self.retries == 1 else "ies"
+            ))
+        fields.append(
+            " ".join(
+                "w{}={}".format(worker_id, status)
+                for worker_id, status in sorted(self.worker_status.items())
+            )
+        )
+        return "[campaign] " + " | ".join(fields)
+
+    def snapshot(self) -> Dict:
+        """Machine-readable telemetry for the manifest."""
+        return {
+            "cells_done": self.done,
+            "cells_total": self.total,
+            "percent": round(
+                100.0 * self.done / self.total if self.total else 100.0, 2
+            ),
+            "throughput_cells_per_second": self.throughput,
+            "eta_seconds": self.eta_seconds,
+            "elapsed_seconds": self.elapsed,
+            "retries": self.retries,
+            "workers": {
+                "w{}".format(worker_id): status
+                for worker_id, status in sorted(self.worker_status.items())
+            },
+        }
+
+    # -- rendering ------------------------------------------------------
+    def _emit(self, force: bool = False) -> None:
+        now = self.clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
+            return
+        self._last_emit = now
+        self.stream.write(self.render() + "\n")
+        self.stream.flush()

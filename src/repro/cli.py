@@ -8,7 +8,12 @@ Commands:
   printing acceptance, fault tolerance and overhead-relevant stats;
 * ``assess``  — load a topology, establish random DR-connections, and
   sweep single-link (or node) failures;
-* ``campaign`` — alias for ``python -m repro.experiments.run_all``;
+* ``campaign`` — sharded simulation campaigns: ``campaign run``
+  executes the figure grid over a multiprocessing worker pool with an
+  append-only checkpoint journal, ``campaign resume`` continues an
+  interrupted run from that journal, ``campaign status`` reports
+  progress from ``campaign_manifest.json``; bare ``campaign`` stays
+  an alias for ``python -m repro.experiments.run_all``;
 * ``chaos``   — run a fault-injection chaos campaign (lossy signaling,
   router crashes, link flaps, correlated bursts, stale link state)
   and report recovery latency, retries and residual unprotection.
@@ -49,13 +54,30 @@ from .topology.waxman import WaxmanParameters
 SCHEME_CHOICES = ("D-LSR", "P-LSR", "BF", "disjoint", "random", "no-backup")
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the package
+    constant when running from a source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dependable real-time connection routing (DSN 2001 "
         "reproduction) command-line tools",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version",
+        version="%(prog)s {}".format(_package_version()),
+    )
+    sub = parser.add_subparsers(dest="command")
 
     topo = sub.add_parser("topology", help="generate a network file")
     topo.add_argument("output", help="where to write the topology JSON")
@@ -107,12 +129,62 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep node failures instead of link failures")
 
     camp = sub.add_parser(
-        "campaign", help="regenerate every table and figure"
+        "campaign",
+        help="sharded simulation campaigns (run / resume / status); "
+        "with no subcommand: regenerate every table and figure",
     )
     camp.add_argument("--scale", choices=("paper", "quick", "smoke"),
                       default="quick")
     camp.add_argument("--seed", type=int, default=7)
     camp.add_argument("--skip-ablations", action="store_true")
+    camp.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the figure campaign")
+    csub = camp.add_subparsers(dest="campaign_command")
+
+    def _grid_options(p):
+        p.add_argument("--scale", choices=("paper", "quick", "smoke"),
+                       default="quick")
+        p.add_argument("--seed", type=int, default=7,
+                       help="master scenario seed")
+        p.add_argument("--degrees", default="3,4", metavar="LIST",
+                       help="comma-separated average degrees E")
+        p.add_argument("--patterns", default="UT,NT", metavar="LIST",
+                       help="comma-separated traffic patterns")
+        p.add_argument("--lambdas", default=None, metavar="LIST",
+                       help="comma-separated arrival rates (default: "
+                       "each degree's figure-panel x-axis)")
+        p.add_argument("--schemes", default=",".join(
+            ("D-LSR", "P-LSR", "BF")), metavar="LIST",
+            help="comma-separated routing schemes")
+
+    crun = csub.add_parser(
+        "run", help="run a sharded campaign with checkpointing"
+    )
+    _grid_options(crun)
+    crun.add_argument("--dir", required=True, metavar="DIR",
+                      help="campaign directory (journal, manifest, "
+                      "merged CSV outputs)")
+    crun.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (1 = inline)")
+    crun.add_argument("--resume", action="store_true",
+                      help="continue if DIR already holds a journal")
+    crun.add_argument("--stop-after", type=int, default=None,
+                      metavar="CELLS",
+                      help="stop after this many newly completed cells "
+                      "(simulates an interruption; resume later)")
+
+    cres = csub.add_parser(
+        "resume", help="resume an interrupted campaign from its journal"
+    )
+    cres.add_argument("--dir", required=True, metavar="DIR")
+    cres.add_argument("--jobs", type=int, default=1, metavar="N")
+
+    cstat = csub.add_parser(
+        "status", help="report campaign progress from the manifest"
+    )
+    cstat.add_argument("--dir", required=True, metavar="DIR")
+    cstat.add_argument("--json", action="store_true",
+                       help="print the raw manifest JSON")
 
     chaos = sub.add_parser(
         "chaos", help="run a fault-injection chaos campaign"
@@ -341,8 +413,135 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_list(raw: str, convert) -> tuple:
+    return tuple(convert(item) for item in raw.split(",") if item.strip())
+
+
+def _campaign_spec(args: argparse.Namespace):
+    from .campaign import CampaignSpec
+
+    return CampaignSpec(
+        scale=args.scale,
+        degrees=_parse_list(args.degrees, int),
+        patterns=_parse_list(args.patterns, str),
+        lambdas=(
+            None if args.lambdas is None
+            else _parse_list(args.lambdas, float)
+        ),
+        schemes=_parse_list(args.schemes, str),
+        master_seed=args.seed,
+    )
+
+
+def _report_campaign(result) -> int:
+    if result.complete:
+        print("campaign complete: {} cells ({} resumed) in {:.1f}s".format(
+            result.manifest["cells_total"], result.resumed_cells,
+            result.wall_clock_seconds,
+        ))
+        for path in result.outputs:
+            print("wrote {}".format(path))
+    else:
+        print("campaign interrupted: {}/{} cells checkpointed; resume "
+              "with: repro campaign resume --dir {}".format(
+                  result.manifest["cells_done"],
+                  result.manifest["cells_total"], result.campaign_dir,
+              ))
+    print("manifest: {}".format(
+        result.campaign_dir / "campaign_manifest.json"
+    ))
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import run_campaign_jobs
+
+    return _report_campaign(run_campaign_jobs(
+        _campaign_spec(args),
+        args.dir,
+        jobs=args.jobs,
+        resume=args.resume,
+        stop_after_cells=args.stop_after,
+    ))
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import resume_campaign
+
+    return _report_campaign(resume_campaign(args.dir, jobs=args.jobs))
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign import campaign_status
+
+    status = campaign_status(args.dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ("status", status.get("status", "?")),
+        ("cells", "{} / {}".format(
+            status.get("cells_done", "?"), status.get("cells_total", "?")
+        )),
+    ]
+    progress = status.get("progress") or {}
+    if progress:
+        rows.append(("throughput (cells/s)", "{:.3f}".format(
+            progress.get("throughput_cells_per_second") or 0.0
+        )))
+        eta = progress.get("eta_seconds")
+        rows.append(("ETA", "{:.0f}s".format(eta) if eta else "-"))
+        rows.append(("retries", progress.get("retries", 0)))
+        workers = progress.get("workers") or {}
+        if workers:
+            rows.append(("workers", " ".join(
+                "{}={}".format(name, state)
+                for name, state in sorted(workers.items())
+            )))
+    if status.get("resumed_cells"):
+        rows.append(("resumed cells", status["resumed_cells"]))
+    merged = status.get("merged") or {}
+    for scheme, stats in (merged.get("observer_stats") or {}).items():
+        rows.append(("merged P_act-bk [{}]".format(scheme),
+                     "{:.4f}".format(stats["p_act_bk"])))
+    print(format_table(("field", "value"), rows))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command in ("run", "resume", "status"):
+        from .campaign import CampaignError
+
+        handler = {
+            "run": _cmd_campaign_run,
+            "resume": _cmd_campaign_resume,
+            "status": _cmd_campaign_status,
+        }[args.campaign_command]
+        try:
+            return handler(args)
+        except CampaignError as exc:
+            print("repro campaign: {}".format(exc), file=sys.stderr)
+            return 1
+    # Legacy alias: the full table/figure reproduction.
+    campaign_argv: List[str] = ["--scale", args.scale,
+                                "--seed", str(args.seed)]
+    if args.jobs != 1:
+        campaign_argv += ["--jobs", str(args.jobs)]
+    if args.skip_ablations:
+        campaign_argv.append("--skip-ablations")
+    campaign_main(campaign_argv)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        # No subcommand: print the full help, exit 2 (usage error).
+        parser.print_help(sys.stderr)
+        return 2
     if args.command == "topology":
         return _cmd_topology(args)
     if args.command == "scenario":
@@ -354,12 +553,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "campaign":
-        campaign_argv: List[str] = ["--scale", args.scale,
-                                    "--seed", str(args.seed)]
-        if args.skip_ablations:
-            campaign_argv.append("--skip-ablations")
-        campaign_main(campaign_argv)
-        return 0
+        return _cmd_campaign(args)
     raise AssertionError("unhandled command {!r}".format(args.command))
 
 

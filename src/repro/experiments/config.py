@@ -103,6 +103,11 @@ QUICK_SCALE = ExperimentScale("quick", duration=5400.0, warmup=3000.0,
 SMOKE_SCALE = ExperimentScale("smoke", duration=1800.0, warmup=900.0,
                               snapshot_count=2)
 
+#: Scale registry by name (CLI choices, campaign specs, run_all).
+SCALES: Dict[str, ExperimentScale] = {
+    scale.name: scale for scale in (PAPER_SCALE, QUICK_SCALE, SMOKE_SCALE)
+}
+
 #: Lambda ranges actually plotted per figure panel (x-axes of
 #: Figures 4(a)/5(a) span 0.2-0.7 for E=3; 4(b)/5(b) span 0.4-0.9).
 FIGURE_LAMBDAS: Dict[int, Tuple[float, ...]] = {

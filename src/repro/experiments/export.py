@@ -42,11 +42,20 @@ def write_panel_csv(
 
 
 def read_panel_csv(path: Union[str, Path]) -> Tuple[List[str], List[List[float]]]:
-    """Read back a panel CSV (tests and downstream tooling)."""
+    """Read back a panel CSV (tests and downstream tooling).
+
+    Blank lines — editor-appended trailing newlines, or rows a
+    spreadsheet inserted between panels — are skipped rather than
+    crashing the float parse.
+    """
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
-        rows = [[float(cell) for cell in row] for row in reader]
+        rows = [
+            [float(cell) for cell in row]
+            for row in reader
+            if row and any(cell.strip() for cell in row)
+        ]
     return header, rows
 
 

@@ -23,7 +23,7 @@ from .config import (
     QUICK_SCALE,
     Table1Parameters,
 )
-from .sweep import PAPER_SCHEMES, PointResult, run_panel
+from .sweep import PAPER_SCHEMES, PointResult, collect_curves, run_panel
 
 
 def figure4_panel(
@@ -40,18 +40,7 @@ def figure4_panel(
     points = run_panel(
         degree, lams, patterns, schemes, scale, parameters, master_seed
     )
-    curves: Dict[Tuple[str, str], List[float]] = {
-        (scheme, pattern): [] for pattern in patterns for scheme in schemes
-    }
-    indexed = {
-        (p.scheme, p.pattern, p.lam): p.fault_tolerance for p in points
-    }
-    for pattern in patterns:
-        for scheme in schemes:
-            curves[(scheme, pattern)] = [
-                indexed[(scheme, pattern, lam)] for lam in lams
-            ]
-    return curves
+    return collect_curves(points, lams, patterns, schemes, "fault_tolerance")
 
 
 def format_figure4(

@@ -22,7 +22,7 @@ from .config import (
     QUICK_SCALE,
     Table1Parameters,
 )
-from .sweep import PAPER_SCHEMES, run_panel
+from .sweep import PAPER_SCHEMES, collect_curves, run_panel
 
 
 def figure5_panel(
@@ -44,14 +44,7 @@ def figure5_panel(
     points = run_panel(
         degree, lams, patterns, schemes, scale, parameters, master_seed
     )
-    indexed = {
-        (p.scheme, p.pattern, p.lam): p.overhead_percent for p in points
-    }
-    return {
-        (scheme, pattern): [indexed[(scheme, pattern, lam)] for lam in lams]
-        for pattern in patterns
-        for scheme in schemes
-    }
+    return collect_curves(points, lams, patterns, schemes, "overhead_percent")
 
 
 def format_figure5(

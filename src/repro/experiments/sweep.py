@@ -221,6 +221,15 @@ def run_cell(
 _CELL_CACHE: Dict[Tuple, Dict[str, PointResult]] = {}
 
 
+def _cell_cache_key(
+    spec: CellSpec,
+    schemes: Sequence[str],
+    scale: ExperimentScale,
+    master_seed: int,
+) -> Tuple:
+    return (spec, tuple(schemes), scale.name, master_seed)
+
+
 def run_cell_cached(
     spec: CellSpec,
     schemes: Sequence[str] = PAPER_SCHEMES,
@@ -228,10 +237,51 @@ def run_cell_cached(
     parameters: Optional[Table1Parameters] = None,
     master_seed: int = 7,
 ) -> Dict[str, PointResult]:
-    key = (spec, tuple(schemes), scale.name, master_seed)
+    key = _cell_cache_key(spec, schemes, scale, master_seed)
     if key not in _CELL_CACHE:
         _CELL_CACHE[key] = run_cell(spec, schemes, scale, parameters, master_seed)
     return _CELL_CACHE[key]
+
+
+def prime_cell_cache(
+    spec: CellSpec,
+    schemes: Sequence[str],
+    scale: ExperimentScale,
+    master_seed: int,
+    points: Dict[str, PointResult],
+) -> None:
+    """Install externally computed cell results (e.g. from a parallel
+    campaign's checkpoint journal) so subsequent figure/export builders
+    reuse them instead of re-simulating."""
+    _CELL_CACHE[_cell_cache_key(spec, schemes, scale, master_seed)] = dict(
+        points
+    )
+
+
+def collect_curves(
+    points: Sequence[PointResult],
+    lams: Sequence[float],
+    patterns: Sequence[str],
+    schemes: Sequence[str],
+    metric: str,
+) -> Dict[Tuple[str, str], List[float]]:
+    """Index panel points into figure curves:
+    ``(scheme, pattern) -> [metric per lambda]``.
+
+    Shared by the figure builders and the campaign result merger so
+    the parallel path reassembles panels through the exact code the
+    sequential path uses.
+    """
+    indexed = {
+        (p.scheme, p.pattern, p.lam): getattr(p, metric) for p in points
+    }
+    return {
+        (scheme, pattern): [
+            indexed[(scheme, pattern, lam)] for lam in lams
+        ]
+        for pattern in patterns
+        for scheme in schemes
+    }
 
 
 def run_panel(

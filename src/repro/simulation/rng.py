@@ -14,10 +14,26 @@ import hashlib
 import random
 
 
+def _encode_component(component: str) -> str:
+    """Escape a path component so the joined encoding is injective.
+
+    A bare ``"|".join`` would make ``("a|b",)`` and ``("a", "b")``
+    derive the same seed; escaping the separator (and the escape
+    character itself) inside each component removes the ambiguity.
+    Components free of ``|`` and ``\\`` — every stream name this
+    repository has ever used — encode to themselves, so all committed
+    fingerprints (golden traces, EXPERIMENTS.md numbers) are
+    unchanged.
+    """
+    return component.replace("\\", "\\\\").replace("|", "\\|")
+
+
 def derive_seed(master_seed: int, *names: object) -> int:
     """Derive a child seed from a master seed and a name path."""
     digest = hashlib.sha256(
-        "|".join([str(master_seed)] + [str(name) for name in names]).encode()
+        "|".join(
+            _encode_component(str(part)) for part in (master_seed, *names)
+        ).encode()
     ).digest()
     return int.from_bytes(digest[:8], "big")
 

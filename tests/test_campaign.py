@@ -1,0 +1,403 @@
+"""Unit tests for the sharded campaign subsystem
+(:mod:`repro.campaign`): job model, result serialization, checkpoint
+journal, worker pool fault tolerance, and progress telemetry.
+
+The end-to-end equivalence and kill/resume tests live in
+``tests/test_campaign_equivalence.py``.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.fault_tolerance import FaultToleranceStats
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    CampaignJournal,
+    PoolEvents,
+    ProgressReporter,
+    WorkerPool,
+    campaign_status,
+    point_from_dict,
+    point_to_dict,
+    run_campaign_jobs,
+)
+from repro.experiments.config import FIGURE_LAMBDAS
+from repro.experiments.sweep import PointResult
+from repro.faults.retry import RetryPolicy
+from repro.simulation.simulator import SimulationResult
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+class TestCampaignSpec:
+    def test_default_grid_matches_figures(self):
+        spec = CampaignSpec()
+        jobs = spec.jobs()
+        assert len(jobs) == sum(
+            len(FIGURE_LAMBDAS[d]) * 2 for d in (3, 4)
+        )
+        assert [job.index for job in jobs] == list(range(len(jobs)))
+        assert jobs[0].job_id == "E3/UT/lam0.2"
+
+    def test_job_ids_unique_and_deterministic(self):
+        spec = CampaignSpec(scale="smoke")
+        ids = [job.job_id for job in spec.jobs()]
+        assert len(set(ids)) == len(ids)
+        assert ids == [job.job_id for job in spec.jobs()]
+
+    def test_explicit_lambdas_override_panels(self):
+        spec = CampaignSpec(degrees=(3,), patterns=("UT",),
+                            lambdas=(0.2, 0.4))
+        assert [job.lam for job in spec.jobs()] == [0.2, 0.4]
+
+    def test_scenario_seed_matches_sequential_derivation(self):
+        from repro.simulation.rng import derive_seed
+
+        job = CampaignSpec(master_seed=11).jobs()[0]
+        assert job.scenario_seed == derive_seed(
+            11, job.degree, job.pattern, job.lam
+        )
+
+    def test_fingerprint_sensitivity(self):
+        base = CampaignSpec()
+        assert base.fingerprint() == CampaignSpec().fingerprint()
+        assert base.fingerprint() != CampaignSpec(scale="smoke").fingerprint()
+        assert base.fingerprint() != CampaignSpec(master_seed=8).fingerprint()
+
+    def test_round_trip(self):
+        spec = CampaignSpec(scale="smoke", degrees=(4,), lambdas=(0.5,))
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(scale="galactic")
+
+
+class TestPointSerialization:
+    def _point(self):
+        # Deliberately awkward floats: serialization must round-trip
+        # exact bits, not pretty decimals.
+        stats = FaultToleranceStats(
+            attempts=7, successes=6,
+            failures_by_reason={"spare-exhausted": 1},
+            links_swept=30, snapshots=3,
+        )
+        sim = SimulationResult(
+            scheme="D-LSR", duration=0.1 + 0.2, warmup=1.0 / 3.0,
+            requests=10, accepted=9, rejected={"no-backup-route": 1},
+            control_messages=123,
+            active_samples=[(0.1, 3), (0.2, 4)], final_active=2,
+        )
+        return PointResult(
+            scheme="D-LSR", degree=3, pattern="UT", lam=0.30000000000000004,
+            fault_tolerance=6.0 / 7.0, overhead_percent=100.0 / 3.0,
+            acceptance_ratio=0.9, mean_active=3.5,
+            baseline_mean_active=3.7, messages_per_request=12.3,
+            mean_spare_fraction=0.123456789012345678,
+            ft_stats=stats, sim=sim,
+        )
+
+    def test_exact_round_trip(self):
+        point = self._point()
+        restored = point_from_dict(point_to_dict(point))
+        assert restored == point
+
+    def test_round_trip_through_json_text(self):
+        point = self._point()
+        restored = point_from_dict(
+            json.loads(json.dumps(point_to_dict(point)))
+        )
+        assert restored == point
+        assert restored.lam == point.lam
+        assert restored.sim.active_samples == point.sim.active_samples
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+def _cell_record(job_id, index=0):
+    return {"job_id": job_id, "index": index, "scenario_seed": 1,
+            "points": {}}
+
+
+class TestJournal:
+    def test_header_and_cells_round_trip(self, tmp_path):
+        spec = CampaignSpec(scale="smoke")
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.write_header(spec)
+        journal.append_cell(_cell_record("E3/UT/lam0.2"), worker=1,
+                            elapsed=2.5, attempts=1)
+        state = journal.load()
+        assert state.spec == spec
+        assert state.fingerprint == spec.fingerprint()
+        assert state.completed_ids == ["E3/UT/lam0.2"]
+        record = state.cells["E3/UT/lam0.2"]
+        assert record["worker"] == 1 and record["elapsed"] == 2.5
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        state = CampaignJournal(tmp_path / "absent.jsonl").load()
+        assert state.spec is None and not state.cells
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.write_header(CampaignSpec(scale="smoke"))
+        journal.append_cell(_cell_record("a"))
+        with open(journal.path, "a") as handle:
+            handle.write('{"kind": "cell", "job_id": "b", "poi')
+        state = journal.load()
+        assert state.completed_ids == ["a"]
+        assert state.dropped_tail
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.write_header(CampaignSpec(scale="smoke"))
+        with open(journal.path, "a") as handle:
+            handle.write("garbage\n")
+        journal.append_cell(_cell_record("a"))
+        with pytest.raises(CampaignError, match="corrupt journal"):
+            journal.load()
+
+    def test_duplicate_cell_keeps_first(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.write_header(CampaignSpec(scale="smoke"))
+        journal.append_cell(_cell_record("a"), worker=0)
+        journal.append_cell(_cell_record("a"), worker=5)
+        assert journal.load().cells["a"]["worker"] == 0
+
+    def test_cell_before_header_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append_cell(_cell_record("a"))
+        with pytest.raises(CampaignError, match="before the campaign"):
+            journal.load()
+
+
+# ----------------------------------------------------------------------
+# Worker pool fault tolerance
+# ----------------------------------------------------------------------
+# Module-level runners: picklable by reference under any start method.
+def _echo_runner(job):
+    return {"job_id": job["job_id"], "index": job["index"],
+            "doubled": job["value"] * 2}
+
+
+def _flaky_runner(job):
+    """Fails (raises) on the first attempt of each job, succeeds after —
+    cross-process state via marker files."""
+    marker = os.path.join(job["dir"], "attempted-{}".format(job["index"]))
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("injected first-attempt failure")
+    return {"job_id": job["job_id"], "index": job["index"]}
+
+
+def _dying_runner(job):
+    """Kills the whole worker process on the first attempt of each job
+    (simulates OOM-kill / segfault)."""
+    marker = os.path.join(job["dir"], "died-{}".format(job["index"]))
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(17)
+    return {"job_id": job["job_id"], "index": job["index"]}
+
+
+def _always_failing_runner(job):
+    raise RuntimeError("permanently broken")
+
+
+def _jobs(count, **extra):
+    return [
+        dict(index=index, job_id="job-{}".format(index), value=index, **extra)
+        for index in range(count)
+    ]
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02,
+                         jitter=0.0, deadline=30.0)
+
+
+class TestWorkerPool:
+    def test_runs_all_jobs(self):
+        results = {}
+        pool = WorkerPool(_echo_runner, workers=2)
+        done = pool.run(
+            _jobs(5),
+            lambda job, payload, w, e, a: results.update(
+                {payload["index"]: payload["doubled"]}
+            ),
+        )
+        assert done == 5
+        assert results == {i: 2 * i for i in range(5)}
+
+    def test_retries_failed_jobs(self, tmp_path):
+        retries = []
+        events = PoolEvents(on_retry=lambda job, n, why: retries.append(
+            (job["index"], n)
+        ))
+        results = {}
+        pool = WorkerPool(_flaky_runner, workers=2,
+                          retry_policy=FAST_RETRY, events=events)
+        done = pool.run(
+            _jobs(3, dir=str(tmp_path)),
+            lambda job, payload, w, e, attempts: results.update(
+                {payload["index"]: attempts}
+            ),
+        )
+        assert done == 3
+        assert sorted(index for index, _ in retries) == [0, 1, 2]
+        assert all(attempts == 2 for attempts in results.values())
+
+    def test_survives_worker_death(self, tmp_path):
+        results = {}
+        pool = WorkerPool(_dying_runner, workers=2,
+                          retry_policy=FAST_RETRY)
+        done = pool.run(
+            _jobs(3, dir=str(tmp_path)),
+            lambda job, payload, w, e, a: results.update(
+                {payload["index"]: True}
+            ),
+        )
+        assert done == 3
+        assert sorted(results) == [0, 1, 2]
+
+    def test_gives_up_after_exhausted_retries(self):
+        pool = WorkerPool(_always_failing_runner, workers=1,
+                          retry_policy=FAST_RETRY)
+        with pytest.raises(CampaignError, match="giving up"):
+            pool.run(_jobs(1), lambda *args: None)
+
+    def test_stop_after_limits_completions(self):
+        results = []
+        pool = WorkerPool(_echo_runner, workers=2)
+        done = pool.run(
+            _jobs(6),
+            lambda job, payload, w, e, a: results.append(payload["index"]),
+            stop_after=2,
+        )
+        assert done == 2
+        assert len(results) == 2
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(CampaignError):
+            WorkerPool(_echo_runner, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Progress telemetry
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressReporter:
+    def _reporter(self, **kwargs):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=4, workers=2, stream=stream, clock=clock, **kwargs
+        )
+        return reporter, clock, stream
+
+    def test_lifecycle_counters(self):
+        reporter, clock, stream = self._reporter()
+        reporter.on_started(0, {"job_id": "E3/UT/lam0.2"})
+        clock.now += 10.0
+        reporter.on_completed(0, {"job_id": "E3/UT/lam0.2"}, {}, 10.0, 1)
+        assert reporter.done == 1
+        assert reporter.throughput == pytest.approx(0.1)
+        assert reporter.eta_seconds == pytest.approx(30.0)
+        out = stream.getvalue()
+        assert "1/4 cells (25%)" in out
+        assert "w0=idle" in out
+
+    def test_render_shows_worker_status_and_retries(self):
+        reporter, clock, _ = self._reporter()
+        reporter.on_started(1, {"job_id": "E4/NT/lam0.5"})
+        reporter.on_retry({"job_id": "E4/NT/lam0.5"}, 1, "boom")
+        line = reporter.render()
+        assert "w1=E4/NT/lam0.5" in line
+        assert "1 retry" in line
+
+    def test_snapshot_machine_readable(self):
+        reporter, clock, _ = self._reporter(initial_done=1)
+        clock.now += 5.0
+        reporter.on_completed(0, {"job_id": "x"}, {}, 5.0, 1)
+        snap = reporter.snapshot()
+        assert snap["cells_done"] == 2
+        assert snap["cells_total"] == 4
+        # Resumed cells are excluded from throughput: 1 new cell / 5 s.
+        assert snap["throughput_cells_per_second"] == pytest.approx(0.2)
+        assert snap["workers"] == {"w0": "idle", "w1": "idle"}
+        assert json.dumps(snap)  # JSON-serializable as-is
+
+    def test_eta_unknown_before_first_new_completion(self):
+        reporter, clock, _ = self._reporter(initial_done=2)
+        clock.now += 5.0
+        assert reporter.eta_seconds is None
+        assert reporter.throughput == 0.0
+
+    def test_throttling(self):
+        reporter, clock, stream = self._reporter()
+        for _ in range(5):
+            reporter.on_started(0, {"job_id": "a"})  # same instant
+        assert stream.getvalue().count("\n") == 1
+        clock.now += 2.0
+        reporter.on_started(0, {"job_id": "b"})
+        assert stream.getvalue().count("\n") == 2
+
+
+# ----------------------------------------------------------------------
+# Orchestrator guard rails (cheap paths only; heavy paths in the
+# equivalence suite)
+# ----------------------------------------------------------------------
+class TestOrchestratorGuards:
+    def test_fresh_dir_without_spec_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="needs a spec"):
+            run_campaign_jobs(None, tmp_path / "c")
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        spec = CampaignSpec(scale="smoke", degrees=(3,), patterns=("UT",),
+                            lambdas=(0.2,))
+        journal = CampaignJournal(tmp_path / "c" / "campaign_journal.jsonl")
+        journal.write_header(spec)
+        with pytest.raises(CampaignError, match="resume"):
+            run_campaign_jobs(spec, tmp_path / "c")
+
+    def test_resume_with_mismatched_spec_rejected(self, tmp_path):
+        spec = CampaignSpec(scale="smoke", degrees=(3,), patterns=("UT",),
+                            lambdas=(0.2,))
+        journal = CampaignJournal(tmp_path / "c" / "campaign_journal.jsonl")
+        journal.write_header(spec)
+        other = CampaignSpec(scale="smoke", degrees=(3,), patterns=("UT",),
+                             lambdas=(0.3,))
+        with pytest.raises(CampaignError, match="different campaign spec"):
+            run_campaign_jobs(other, tmp_path / "c", resume=True)
+
+    def test_resume_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="nothing to resume"):
+            run_campaign_jobs(None, tmp_path / "c", resume=True)
+
+    def test_status_on_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="holds no campaign"):
+            campaign_status(tmp_path)
+
+    def test_status_from_journal_without_manifest(self, tmp_path):
+        spec = CampaignSpec(scale="smoke", degrees=(3,), patterns=("UT",),
+                            lambdas=(0.2, 0.3))
+        journal = CampaignJournal(tmp_path / "campaign_journal.jsonl")
+        journal.write_header(spec)
+        journal.append_cell(_cell_record("E3/UT/lam0.2"))
+        status = campaign_status(tmp_path)
+        assert status["status"] == "interrupted"
+        assert status["cells_done"] == 1
+        assert status["cells_total"] == 2

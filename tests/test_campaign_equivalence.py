@@ -1,0 +1,134 @@
+"""Equivalence tests: sharded campaigns reproduce the sequential path.
+
+The parallel orchestrator is only trustworthy if sharding is
+*invisible* in the results: every cell replays the same seeded
+scenario through the same code whether it runs in-process or in a
+worker, so the merged figure panels, CSV exports and observer stats
+must be **byte-identical** across worker counts — and across an
+interrupt/resume cycle, including a real ``kill -9`` of the
+orchestrating process mid-campaign.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    resume_campaign,
+    run_campaign_jobs,
+)
+from repro.campaign.merge import figure_curves
+from repro.campaign.orchestrator import JOURNAL_NAME, MANIFEST_NAME
+
+pytestmark = pytest.mark.slow
+
+#: Reduced smoke-scale grid: 1 degree x 2 patterns x 2 rates = 4 cells.
+SPEC = CampaignSpec(
+    scale="smoke", degrees=(3,), patterns=("UT", "NT"),
+    lambdas=(0.4, 0.6), master_seed=7,
+)
+
+OUTPUT_FILES = ("figure4_E3.csv", "figure5_E3.csv", "campaign_points.csv")
+
+
+def _run(tmp_path, name, **kwargs):
+    return run_campaign_jobs(SPEC, tmp_path / name, **kwargs)
+
+
+def _output_bytes(campaign_dir):
+    return {name: (Path(campaign_dir) / name).read_bytes()
+            for name in OUTPUT_FILES}
+
+
+def _merged_stats(campaign_dir):
+    manifest = json.loads(
+        (Path(campaign_dir) / MANIFEST_NAME).read_text()
+    )
+    return manifest["merged"]["observer_stats"]
+
+
+class TestParallelEquivalence:
+    def test_jobs4_bit_identical_to_sequential(self, tmp_path):
+        sequential = _run(tmp_path, "seq", jobs=1)
+        parallel = _run(tmp_path, "par", jobs=4)
+        assert sequential.complete and parallel.complete
+        # Merged figure curves are value-identical...
+        assert figure_curves(SPEC, sequential.points) == figure_curves(
+            SPEC, parallel.points
+        )
+        # ...and the written artifacts are byte-identical.
+        assert _output_bytes(sequential.campaign_dir) == _output_bytes(
+            parallel.campaign_dir
+        )
+        assert _merged_stats(sequential.campaign_dir) == _merged_stats(
+            parallel.campaign_dir
+        )
+
+    def test_interrupted_then_resumed_matches_uninterrupted(self, tmp_path):
+        reference = _run(tmp_path, "ref", jobs=1)
+        interrupted = _run(tmp_path, "cut", jobs=2, stop_after_cells=2)
+        assert not interrupted.complete
+        resumed = resume_campaign(tmp_path / "cut", jobs=2)
+        assert resumed.complete
+        assert resumed.resumed_cells == 2
+        assert _output_bytes(reference.campaign_dir) == _output_bytes(
+            resumed.campaign_dir
+        )
+
+
+class TestKillMinusNineResume:
+    def test_sigkill_mid_campaign_then_resume(self, tmp_path):
+        """Launch a real orchestrator process, SIGKILL it once the
+        journal shows progress, and finish the campaign by resuming —
+        the merged outputs must match an uninterrupted run."""
+        reference = _run(tmp_path, "ref", jobs=1)
+        campaign_dir = tmp_path / "killed"
+        journal = campaign_dir / JOURNAL_NAME
+        argv = [
+            sys.executable, "-m", "repro.cli", "campaign", "run",
+            "--scale", "smoke", "--degrees", "3", "--patterns", "UT,NT",
+            "--lambdas", "0.4,0.6", "--seed", "7",
+            "--jobs", "2", "--dir", str(campaign_dir),
+        ]
+        process = subprocess.Popen(
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,  # so SIGKILL reaches the workers too
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if journal.exists() and '"kind": "cell"' in journal.read_text():
+                    break
+                if process.poll() is not None:
+                    pytest.fail(
+                        "campaign finished (rc={}) before it could be "
+                        "killed".format(process.returncode)
+                    )
+                time.sleep(0.1)
+            else:
+                pytest.fail("no cell checkpoint appeared within 120s")
+            os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=30)
+
+        resumed = resume_campaign(campaign_dir, jobs=2)
+        assert resumed.complete
+        assert resumed.resumed_cells >= 1
+        assert _output_bytes(reference.campaign_dir) == _output_bytes(
+            resumed.campaign_dir
+        )
+        assert _merged_stats(reference.campaign_dir) == _merged_stats(
+            resumed.campaign_dir
+        )

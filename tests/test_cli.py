@@ -26,9 +26,19 @@ def scenario_file(tmp_path):
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage: repro" in err
+        assert "campaign" in err  # full help, not just the usage line
+
+    def test_version_reports_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(SystemExit):
@@ -93,6 +103,36 @@ class TestReplayCommand:
         assert main(["replay", str(topology_file), str(scenario_file),
                      "--scheme", "D-LSR", "--num-backups", "2"]) == 0
         assert "fault tolerance" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_run_then_status(self, tmp_path, capsys):
+        campaign_dir = tmp_path / "camp"
+        assert main(["campaign", "run", "--scale", "smoke",
+                     "--degrees", "3", "--patterns", "UT",
+                     "--lambdas", "0.4", "--dir", str(campaign_dir)]) == 0
+        manifest = json.loads(
+            (campaign_dir / "campaign_manifest.json").read_text()
+        )
+        assert manifest["status"] == "complete"
+        assert manifest["cells_done"] == manifest["cells_total"] == 1
+        capsys.readouterr()
+
+        assert main(["campaign", "status", "--dir", str(campaign_dir),
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["status"] == "complete"
+        assert status["cells_done"] == 1
+
+    def test_status_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--dir",
+                     str(tmp_path / "nope")]) == 1
+        assert "repro campaign:" in capsys.readouterr().err
+
+    def test_resume_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["campaign", "resume", "--dir",
+                     str(tmp_path / "nope")]) == 1
+        assert "repro campaign:" in capsys.readouterr().err
 
 
 class TestAssessCommand:

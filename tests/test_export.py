@@ -1,0 +1,74 @@
+"""Tests for CSV export of figure panels (:mod:`repro.experiments.export`).
+
+These run on synthetic curves — no simulation — so they exercise only
+the serialization layer: header layout, column ordering, float
+round-tripping and tolerance to hand-edited files.
+"""
+
+import pytest
+
+from repro.experiments.export import (
+    panel_rows,
+    read_panel_csv,
+    write_panel_csv,
+)
+
+LAMBDAS = [0.2, 0.4, 0.6]
+
+CURVES = {
+    ("P-LSR", "UT"): [0.91, 0.85, 0.7300000000000001],
+    ("D-LSR", "NT"): [0.99, 0.97, 0.95],
+    ("BF", "UT"): [1.0, 1.0, 0.98],
+    ("D-LSR", "UT"): [0.98, 0.96, 0.93],
+}
+
+
+class TestPanelRows:
+    def test_header_matches_sorted_curve_keys(self):
+        header, rows = panel_rows(CURVES, LAMBDAS)
+        assert header == [
+            "lambda", "BF UT", "D-LSR NT", "D-LSR UT", "P-LSR UT",
+        ]
+        assert len(rows) == len(LAMBDAS)
+
+    def test_column_order_independent_of_insertion_order(self):
+        reordered = dict(reversed(list(CURVES.items())))
+        assert panel_rows(CURVES, LAMBDAS) == panel_rows(reordered, LAMBDAS)
+
+    def test_rows_pair_lambda_with_curve_values(self):
+        header, rows = panel_rows(CURVES, LAMBDAS)
+        bf_column = header.index("BF UT")
+        for row, lam, expected in zip(rows, LAMBDAS, CURVES[("BF", "UT")]):
+            assert row[0] == lam
+            assert row[bf_column] == expected
+
+
+class TestRoundTrip:
+    def test_write_then_read_is_exact(self, tmp_path):
+        path = tmp_path / "panel.csv"
+        write_panel_csv(path, CURVES, LAMBDAS)
+        header, rows = read_panel_csv(path)
+        expected_header, expected_rows = panel_rows(CURVES, LAMBDAS)
+        assert header == expected_header
+        # Exact equality: csv writes repr(float), which Python reads
+        # back to the identical double — including awkward values like
+        # 0.7300000000000001.
+        assert rows == expected_rows
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "panel.csv"
+        write_panel_csv(path, CURVES, LAMBDAS)
+        text = path.read_text()
+        head, _, tail = text.partition("\n")
+        mangled = head + "\n\n   \n" + tail + "\n\n,,\n"
+        path.write_text(mangled)
+        header, rows = read_panel_csv(path)
+        assert header == panel_rows(CURVES, LAMBDAS)[0]
+        assert len(rows) == len(LAMBDAS)
+
+    def test_non_numeric_cell_still_raises(self, tmp_path):
+        path = tmp_path / "panel.csv"
+        write_panel_csv(path, CURVES, LAMBDAS)
+        path.write_text(path.read_text() + "0.8,not-a-number,1,1,1\n")
+        with pytest.raises(ValueError):
+            read_panel_csv(path)

@@ -69,6 +69,20 @@ class TestCliCampaign:
             "--scale", "smoke", "--seed", "7", "--skip-ablations",
         ]
 
+    def test_campaign_forwards_jobs_to_run_all(self, monkeypatch):
+        import repro.cli as cli
+
+        captured = {}
+        monkeypatch.setattr(
+            cli, "campaign_main",
+            lambda argv: captured.update(argv=list(argv)),
+        )
+        assert cli.main(["campaign", "--scale", "smoke",
+                         "--jobs", "2"]) == 0
+        assert captured["argv"] == [
+            "--scale", "smoke", "--seed", "7", "--jobs", "2",
+        ]
+
     def test_replay_rejects_multi_backup_for_unsupporting_scheme(
         self, tmp_path, monkeypatch
     ):

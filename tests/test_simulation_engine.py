@@ -156,3 +156,22 @@ class TestRngStreams:
 
     def test_streams_reproducible(self):
         assert seeded_rng(9, "x").random() == seeded_rng(9, "x").random()
+
+    def test_no_separator_collision(self):
+        """Regression: a component containing the join separator must
+        not collide with the split path (``("a|b",)`` vs ``("a", "b")``)."""
+        assert derive_seed(1, "a|b") != derive_seed(1, "a", "b")
+        assert derive_seed(1, "a|b", "c") != derive_seed(1, "a", "b|c")
+        assert derive_seed(1, "a\\", "b") != derive_seed(1, "a", "\\b")
+        assert derive_seed(1, "a\\|b") != derive_seed(1, "a|b")
+
+    def test_separator_free_names_keep_legacy_fingerprints(self):
+        """Every committed fixture (golden traces, EXPERIMENTS.md) was
+        derived with the historical plain-join encoding; components
+        without ``|`` or ``\\`` must keep deriving the same seeds."""
+        import hashlib
+
+        legacy = int.from_bytes(
+            hashlib.sha256("7|3|UT|0.2".encode()).digest()[:8], "big"
+        )
+        assert derive_seed(7, 3, "UT", 0.2) == legacy
