@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick examples clean
+.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick serve-demo examples clean
 
 install:
 	pip install -e '.[test]'
@@ -23,6 +23,12 @@ campaign-paper:
 chaos-quick:
 	python -m repro chaos --rows 6 --cols 6 --rate 1.5 --duration 120 \
 		--intensity 4 --seed 7 --verify
+
+# End-to-end control-plane tour: serve an example topology, replay a
+# seeded workload through the load generator, verify decisions against
+# a sequential twin, drain gracefully.
+serve-demo:
+	python examples/serve_loadtest.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done

@@ -1,0 +1,115 @@
+"""Online admission throughput — the control-plane serving gate.
+
+The issue's acceptance bar: a load test against a live ``repro
+serve`` on a 16x16 mesh must sustain at least 500 admission requests
+per second on a single core with zero protocol errors.  This
+benchmark reproduces the deployment shape exactly — the server in its
+own process (as ``repro serve`` runs it), the deterministic load
+generator in this one, both sharing whatever cores the host gives —
+and asserts the gate with the decision-trace equivalence check on
+top.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core import DRTPService
+from repro.routing import PLSRScheme
+from repro.server import (
+    LoadGenConfig,
+    LoadGenerator,
+    build_timeline,
+    run_sequential_reference,
+)
+from repro.topology import mesh_network
+
+from _common import BENCH_SEED, once, record
+
+ROWS = COLS = 16
+CAPACITY = 32.0
+RATE = 50.0          # arrivals per virtual second
+DURATION = 60.0      # virtual seconds -> ~3000 admissions
+MIN_ADMITS_PER_SECOND = 500.0
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _serve_and_measure(tmp_sock):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    serve = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", tmp_sock,
+            "--rows", str(ROWS), "--cols", str(COLS),
+            "--capacity", str(CAPACITY),
+            "--scheme", "P-LSR",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not Path(tmp_sock).exists():
+            assert serve.poll() is None, serve.stdout.read()
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.05)
+        config = LoadGenConfig(
+            arrival_rate=RATE, duration=DURATION, master_seed=BENCH_SEED,
+        )
+        network = mesh_network(ROWS, COLS, CAPACITY)
+        timeline = build_timeline(
+            config, network.num_nodes, network.num_links
+        )
+        generator = LoadGenerator(timeline, socket_path=tmp_sock)
+        report = asyncio.run(generator.run())
+        reference = run_sequential_reference(
+            DRTPService(network, PLSRScheme()), timeline
+        )
+        return report, reference
+    finally:
+        serve.terminate()
+        serve.communicate(timeout=30)
+
+
+def test_admission_throughput_gate(benchmark, tmp_path):
+    sock = str(tmp_path / "bench.sock")
+    report, reference = once(
+        benchmark, lambda: _serve_and_measure(sock)
+    )
+
+    admits_per_second = report.admits / report.wall_seconds
+    record(
+        "server_throughput",
+        "online admission throughput (16x16 mesh, P-LSR, live server)\n"
+        + json.dumps(
+            {
+                "admissions": report.admits,
+                "events": report.events,
+                "wall_seconds": round(report.wall_seconds, 3),
+                "admissions_per_second": round(admits_per_second, 1),
+                "requests_per_second": round(
+                    report.requests_per_second, 1
+                ),
+                "acceptance_ratio": round(report.acceptance_ratio, 4),
+                "protocol_errors": report.protocol_error_total,
+            },
+            indent=2,
+        ),
+    )
+
+    assert report.protocol_error_total == 0
+    assert report.admits >= 2500  # rate * duration, minus Poisson noise
+    assert admits_per_second >= MIN_ADMITS_PER_SECOND, (
+        "sustained only {:.0f} admissions/s".format(admits_per_second)
+    )
+    # Throughput means nothing if the answers are wrong: the live
+    # server must reach exactly the sequential service's decisions.
+    assert report.decisions == reference["decisions"]

@@ -26,7 +26,10 @@ Packages: :mod:`repro.topology` (networks and generators),
 :mod:`repro.network` (APLV / Conflict Vector / ledgers),
 :mod:`repro.routing` (the schemes), :mod:`repro.core` (DRTP service),
 :mod:`repro.simulation` (scenario replay), :mod:`repro.analysis`
-(metrics) and :mod:`repro.experiments` (the paper's tables/figures).
+(metrics), :mod:`repro.experiments` (the paper's tables/figures),
+:mod:`repro.metrics` (dependency-free operational metrics) and
+:mod:`repro.server` (the online control-plane server + load
+generator).
 """
 
 from .topology import (
@@ -87,6 +90,18 @@ from .campaign import (
     campaign_status,
     resume_campaign,
     run_campaign_jobs,
+)
+from .metrics import (
+    MetricsRegistry,
+    ServiceMetrics,
+    parse_prometheus_text,
+)
+from .server import (
+    ControlPlaneServer,
+    LoadGenConfig,
+    LoadGenerator,
+    build_timeline,
+    run_sequential_reference,
 )
 
 __version__ = "1.0.0"
@@ -149,4 +164,14 @@ __all__ = [
     "run_campaign_jobs",
     "resume_campaign",
     "campaign_status",
+    # metrics
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "parse_prometheus_text",
+    # online control plane
+    "ControlPlaneServer",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "build_timeline",
+    "run_sequential_reference",
 ]

@@ -16,7 +16,14 @@ Commands:
   an alias for ``python -m repro.experiments.run_all``;
 * ``chaos``   — run a fault-injection chaos campaign (lossy signaling,
   router crashes, link flaps, correlated bursts, stale link state)
-  and report recovery latency, retries and residual unprotection.
+  and report recovery latency, retries and residual unprotection;
+* ``serve``   — run the online admission-control server: NDJSON over
+  TCP or a Unix socket, Prometheus/JSON metrics, graceful SIGTERM
+  drain with a final metrics manifest;
+* ``loadtest`` — drive a running server with a deterministic seeded
+  workload (Poisson arrivals, hold times, optional fault mix) and
+  optionally diff its decisions against an in-process sequential
+  replay of the same timeline.
 
 Every command is deterministic given its ``--seed``; topology and
 scenario files round-trip through the serializers in
@@ -217,6 +224,73 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the campaign twice and assert the "
                        "reports are bit-for-bit identical")
 
+    def _endpoint_options(p):
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="serve/connect on a Unix socket")
+        p.add_argument("--host", default=None,
+                       help="TCP host (default 127.0.0.1 when no socket)")
+        p.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral)")
+
+    def _topology_options(p):
+        p.add_argument("--topology", default=None, metavar="PATH",
+                       help="topology JSON (default: a mesh from "
+                       "--rows/--cols/--capacity)")
+        p.add_argument("--rows", type=int, default=8, help="mesh rows")
+        p.add_argument("--cols", type=int, default=8, help="mesh cols")
+        p.add_argument("--capacity", type=float, default=30.0)
+
+    serve = sub.add_parser(
+        "serve", help="run the online admission-control server"
+    )
+    _topology_options(serve)
+    _endpoint_options(serve)
+    serve.add_argument("--scheme", choices=SCHEME_CHOICES, default="P-LSR")
+    serve.add_argument("--snapshot-db", action="store_true",
+                       help="route from periodically refreshed snapshots "
+                       "instead of live link state")
+    serve.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a final metrics manifest JSON on "
+                       "shutdown")
+
+    load = sub.add_parser(
+        "loadtest", help="drive a running server with deterministic load"
+    )
+    _endpoint_options(load)
+    load.add_argument("--rate", type=float, default=40.0,
+                      help="Poisson arrival rate (requests per virtual "
+                      "second)")
+    load.add_argument("--duration", type=float, default=60.0,
+                      help="virtual seconds of load")
+    load.add_argument("--hold-min", type=float, default=2.0,
+                      help="minimum connection hold time (virtual s)")
+    load.add_argument("--hold-max", type=float, default=6.0,
+                      help="maximum connection hold time (virtual s)")
+    load.add_argument("--bw", type=float, default=1.0)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--time-scale", type=float, default=0.0,
+                      help="wall seconds per virtual second "
+                      "(0 = replay as fast as the pipe allows)")
+    load.add_argument("--max-inflight", type=int, default=64,
+                      help="pipelined requests kept outstanding")
+    load.add_argument("--plan", default=None, metavar="PATH",
+                      help="fault-plan JSON mixing link flaps/bursts "
+                      "into the load")
+    load.add_argument("--report", default=None, metavar="PATH",
+                      help="write the load report as JSON here")
+    load.add_argument("--min-rps", type=float, default=None,
+                      help="fail unless sustained requests/second "
+                      "reaches this")
+    load.add_argument("--verify", action="store_true",
+                      help="replay the same timeline on an in-process "
+                      "twin service and compare decisions")
+    _topology_options(load)
+    load.add_argument("--scheme", choices=SCHEME_CHOICES, default="P-LSR",
+                      help="twin scheme for --verify (must match the "
+                      "server)")
+    load.add_argument("--tolerance", type=float, default=0.005,
+                      help="acceptance-ratio tolerance for --verify")
+
     return parser
 
 
@@ -413,6 +487,195 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_network(args: argparse.Namespace):
+    """The topology named by --topology, or the --rows x --cols mesh."""
+    if args.topology is not None:
+        return load_network(args.topology)
+    return mesh_network(args.rows, args.cols, args.capacity)
+
+
+def _endpoint_kwargs(args: argparse.Namespace) -> dict:
+    if args.socket is not None:
+        return {"socket_path": args.socket}
+    return {"host": args.host or "127.0.0.1", "port": args.port}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .metrics import ServiceMetrics
+    from .server import ControlPlaneServer
+
+    network = _serving_network(args)
+    scheme = make_scheme(args.scheme)
+    metrics = ServiceMetrics()
+    service = DRTPService(
+        network, scheme,
+        live_database=not args.snapshot_db,
+        metrics=metrics,
+    )
+
+    async def _run() -> ControlPlaneServer:
+        server = ControlPlaneServer(
+            service, metrics,
+            manifest_path=args.manifest,
+            **_endpoint_kwargs(args),
+        )
+        await server.start()
+        # Readiness line for scripts that wait on our stdout.
+        print(
+            "serving {} on {} ({} nodes, {} links)".format(
+                scheme.name, server.endpoint,
+                network.num_nodes, network.num_links,
+            ),
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        return server
+
+    server = asyncio.run(_run())
+    stats = server.stats
+    print(
+        "drained: {} requests ({} protocol errors) over {} connections, "
+        "acceptance ratio {:.4f}".format(
+            stats.requests_total, stats.protocol_errors,
+            stats.connections_total, service.counters.acceptance_ratio,
+        )
+    )
+    if args.manifest:
+        print("wrote manifest to {}".format(args.manifest))
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .faults import FaultPlan
+    from .server import (
+        LoadGenConfig,
+        LoadGenerator,
+        build_timeline,
+        fetch_status,
+        run_sequential_reference,
+    )
+
+    plan = FaultPlan.load(args.plan) if args.plan else None
+    config = LoadGenConfig(
+        arrival_rate=args.rate,
+        duration=args.duration,
+        hold_min=args.hold_min,
+        hold_max=args.hold_max,
+        bw_req=args.bw,
+        master_seed=args.seed,
+        fault_plan=plan,
+    )
+    endpoint = _endpoint_kwargs(args)
+    if "port" in endpoint and endpoint["port"] == 0:
+        print("repro loadtest: --port is required for TCP targets",
+              file=sys.stderr)
+        return 2
+
+    async def _run():
+        status = await fetch_status(**endpoint)
+        network = _serving_network(args) if (
+            args.verify or (plan is not None and plan.bursts.enabled
+                            and plan.bursts.correlated)
+        ) else None
+        if network is not None and (
+            network.num_nodes != status["nodes"]
+            or network.num_links != status["links"]
+        ):
+            raise SystemExit(
+                "loadtest topology ({} nodes, {} links) does not match "
+                "the server's ({} nodes, {} links)".format(
+                    network.num_nodes, network.num_links,
+                    status["nodes"], status["links"],
+                )
+            )
+        timeline = build_timeline(
+            config, status["nodes"], status["links"], network=network
+        )
+        generator = LoadGenerator(
+            timeline,
+            time_scale=args.time_scale,
+            max_inflight=args.max_inflight,
+            **endpoint,
+        )
+        report = await generator.run()
+        return status, network, timeline, report
+
+    status, network, timeline, report = asyncio.run(_run())
+
+    rows = [
+        ("server scheme", status.get("scheme", "?")),
+        ("timeline events", report.events),
+        ("responses", report.responses),
+        ("admits", report.admits),
+        ("accepted", report.accepted),
+        ("acceptance ratio", "{:.4f}".format(report.acceptance_ratio)),
+        ("releases acknowledged", report.released),
+        ("link failures / repairs",
+         "{} / {}".format(report.fail_links, report.repair_links)),
+        ("protocol errors", report.protocol_error_total),
+        ("wall seconds", "{:.2f}".format(report.wall_seconds)),
+        ("requests / second", "{:.0f}".format(report.requests_per_second)),
+    ]
+    print(format_table(("metric", "value"), rows))
+
+    failures = 0
+    if report.protocol_error_total:
+        print("FAIL: {} protocol errors: {}".format(
+            report.protocol_error_total, report.protocol_errors,
+        ), file=sys.stderr)
+        failures += 1
+    if args.min_rps is not None and report.requests_per_second < args.min_rps:
+        print("FAIL: sustained {:.0f} req/s < required {:.0f}".format(
+            report.requests_per_second, args.min_rps), file=sys.stderr)
+        failures += 1
+    if args.verify:
+        twin = DRTPService(
+            network, make_scheme(args.scheme),
+            live_database=status.get("live_database", True),
+        )
+        reference = run_sequential_reference(twin, timeline)
+        delta = abs(
+            reference["acceptance_ratio"] - report.acceptance_ratio
+        )
+        exact = report.decisions == reference["decisions"]
+        print("reference acceptance ratio {:.4f} (delta {:.4f}, "
+              "decisions {})".format(
+                  reference["acceptance_ratio"], delta,
+                  "identical" if exact else "differ"))
+        if delta > args.tolerance:
+            print("FAIL: acceptance ratio deviates from the sequential "
+                  "reference by {:.4f} > {:.4f}".format(
+                      delta, args.tolerance), file=sys.stderr)
+            failures += 1
+        if status.get("live_database", True) and not exact:
+            print("FAIL: decision trace differs from the sequential "
+                  "reference despite a live link-state database",
+                  file=sys.stderr)
+            failures += 1
+    if args.report:
+        payload = report.to_dict()
+        payload["config"] = {
+            "arrival_rate": args.rate,
+            "duration": args.duration,
+            "hold_min": args.hold_min,
+            "hold_max": args.hold_max,
+            "bw_req": args.bw,
+            "seed": args.seed,
+            "time_scale": args.time_scale,
+            "max_inflight": args.max_inflight,
+            "fault_plan": plan.name if plan else None,
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print("wrote load report to {}".format(args.report))
+    return 1 if failures else 0
+
+
 def _parse_list(raw: str, convert) -> tuple:
     return tuple(convert(item) for item in raw.split(",") if item.strip())
 
@@ -554,6 +817,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     raise AssertionError("unhandled command {!r}".format(args.command))
 
 

@@ -83,6 +83,7 @@ class AdmissionController:
         injector=None,
         retry_policy=None,
         degrade_on_fault: Optional[bool] = None,
+        metrics=None,
     ) -> None:
         """``injector``/``retry_policy`` subject backup signaling to
         fault injection with retransmission (see
@@ -90,12 +91,15 @@ class AdmissionController:
         on whenever an injector is present) admits a connection
         unprotected when its backup signaling exhausts retries, instead
         of rejecting it — the decision is flagged ``degraded`` so the
-        service can re-establish the backup in the background."""
+        service can re-establish the backup in the background.
+        ``metrics`` (a :class:`~repro.metrics.ServiceMetrics`) receives
+        per-walk signaling accounting when present."""
         self._state = state
         self._policy = spare_policy
         self._require_backup = require_backup
         self._injector = injector
         self._retry_policy = retry_policy
+        self._metrics = metrics
         if degrade_on_fault is None:
             degrade_on_fault = injector is not None
         self._degrade_on_fault = degrade_on_fault
@@ -134,6 +138,7 @@ class AdmissionController:
             registration = register_backup_path(
                 self._state, self._policy, packet,
                 self._injector, self._retry_policy,
+                metrics=self._metrics,
             )
             decision.registrations.append(registration)
             if not registration.success:
@@ -166,6 +171,7 @@ class AdmissionController:
                     outcome = register_backup_path(
                         self._state, self._policy, extra,
                         self._injector, self._retry_policy,
+                        metrics=self._metrics,
                     )
                     decision.registrations.append(outcome)
                     if outcome.success:

@@ -20,6 +20,7 @@ comparison methodology) is exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
 from ..network.database import LinkStateDatabase
@@ -79,6 +80,26 @@ class ServiceCounters:
             return 0.0
         return self.accepted / self.requests
 
+    @property
+    def rejection_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return sum(self.rejected.values()) / self.requests
+
+    @property
+    def reestablish_success_ratio(self) -> float:
+        """Fraction of background re-establishment attempts that
+        restored protection; 0.0 before any attempt."""
+        if self.reestablish_attempts == 0:
+            return 0.0
+        return self.backups_reestablished / self.reestablish_attempts
+
+    @property
+    def mean_signaling_retries(self) -> float:
+        if self.signaling_walks == 0:
+            return 0.0
+        return self.signaling_retries / self.signaling_walks
+
     def record_rejection(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
 
@@ -108,6 +129,7 @@ class DRTPService:
         qos_slack: Optional[int] = None,
         fault_injector=None,
         retry_policy=None,
+        metrics=None,
     ) -> None:
         """``live_database=False`` routes from periodically-refreshed
         snapshots instead of instantly-converged link state — the
@@ -129,7 +151,13 @@ class DRTPService:
         backup signaling exhausts its retries is admitted *unprotected*
         and queued — drive :meth:`reestablish_backup` (the simulator
         and chaos runner schedule it) to restore its protection in the
-        background."""
+        background.
+
+        ``metrics`` (a :class:`~repro.metrics.ServiceMetrics`) makes
+        the service observable: admissions, rejections by reason,
+        admission latency, signaling and recovery counters flow into
+        its registry.  ``None`` (the default, and what every batch
+        experiment uses) records nothing and costs nothing."""
         self.network = network
         self.state = NetworkState(network)
         if database is not None:
@@ -144,12 +172,17 @@ class DRTPService:
         self.qos_slack = qos_slack
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind_service(self)
+            scheme.metrics = metrics
         self._admission = AdmissionController(
             self.state,
             self.spare_policy,
             require_backup=require_backup,
             injector=fault_injector,
             retry_policy=retry_policy,
+            metrics=metrics,
         )
         self._connections: Dict[int, DRConnection] = {}
         self._pending_backup: set = set()
@@ -184,15 +217,23 @@ class DRTPService:
 
     def admit(self, req: ConnectionRequest) -> AdmissionDecision:
         """Admit a pre-built request (the simulator's entry point)."""
+        started = perf_counter() if self.metrics is not None else 0.0
         self.counters.requests += 1
-        plan = self.scheme.plan(
-            RouteQuery(
-                req.source,
-                req.destination,
-                req.bw_req,
-                max_hops=self._qos_bound(req.source, req.destination),
-            )
+        query = RouteQuery(
+            req.source,
+            req.destination,
+            req.bw_req,
+            max_hops=self._qos_bound(req.source, req.destination),
         )
+        if self.metrics is not None:
+            # Instrumented planning path when the scheme provides it
+            # (duck-typed test schemes may not inherit RoutingScheme).
+            planner = getattr(
+                self.scheme, "plan_instrumented", self.scheme.plan
+            )
+            plan = planner(query)
+        else:
+            plan = self.scheme.plan(query)
         self.counters.control_messages += plan.control_messages
         decision = self._admission.admit(req, plan)
         for registration in decision.registrations:
@@ -214,6 +255,10 @@ class DRTPService:
                 self.counters.backup_hops_total += connection.backup_route.hop_count
         else:
             self.counters.record_rejection(decision.reason)
+        if self.metrics is not None:
+            self.metrics.observe_admission(
+                self.scheme.name, decision, perf_counter() - started
+            )
         return decision
 
     def _qos_bound(self, source: int, destination: int) -> Optional[int]:
@@ -240,6 +285,8 @@ class DRTPService:
         self._pending_backup.discard(connection_id)
         self._admission.release(connection)
         self.counters.released += 1
+        if self.metrics is not None:
+            self.metrics.observe_release(self.scheme.name)
 
     # ------------------------------------------------------------------
     # Degraded-mode protection (Section 2.3 under adversity)
@@ -293,6 +340,8 @@ class DRTPService:
             conn.primary_route,
         )
         if backup is None or backup.lset == conn.primary_route.lset:
+            if self.metrics is not None:
+                self.metrics.observe_reestablish(False)
             return False
         packet = BackupRegisterPacket(
             connection_id=conn.connection_id,
@@ -303,15 +352,20 @@ class DRTPService:
         registration = register_backup_path(
             self.state, self.spare_policy, packet,
             self.fault_injector, self.retry_policy,
+            metrics=self.metrics,
         )
         self.counters.record_signaling(registration)
         if not registration.success:
+            if self.metrics is not None:
+                self.metrics.observe_reestablish(False)
             return False
         conn.backup = Channel(role=ChannelRole.BACKUP, route=backup)
         if conn.state is ConnectionState.UNPROTECTED:
             conn.state = ConnectionState.ACTIVE
         self._pending_backup.discard(connection_id)
         self.counters.backups_reestablished += 1
+        if self.metrics is not None:
+            self.metrics.observe_reestablish(True)
         return True
 
     # ------------------------------------------------------------------
@@ -358,6 +412,8 @@ class DRTPService:
             reconfigure_unprotected(
                 self.state, self.spare_policy, self._connections, self.scheme
             )
+        if self.metrics is not None:
+            self.metrics.observe_failure(impact)
         return impact
 
     def fail_node(self, node: int, reconfigure: bool = True) -> FailureImpact:
@@ -379,19 +435,28 @@ class DRTPService:
             reconfigure_unprotected(
                 self.state, self.spare_policy, self._connections, self.scheme
             )
+        if self.metrics is not None:
+            self.metrics.observe_failure(impact)
         return impact
 
     def repair_link(self, link_id: int) -> None:
         """Return a previously failed link to service; its bandwidth
-        becomes routable again immediately."""
+        becomes routable again immediately.  Repairing a healthy link
+        is an idempotent no-op."""
         self.state.mark_link_repaired(link_id)
+        if self.metrics is not None:
+            self.metrics.observe_repair()
 
     def repair_node(self, node: int) -> None:
         """Return a switch (all its links) to service."""
+        repaired = 0
         for link in (
             self.network.out_links(node) + self.network.in_links(node)
         ):
             self.state.mark_link_repaired(link.link_id)
+            repaired += 1
+        if self.metrics is not None:
+            self.metrics.observe_repair(repaired)
 
     def refresh_database(self) -> None:
         """Re-flood link state (no-op effect for live databases)."""

@@ -132,6 +132,7 @@ def register_backup_path(
     packet: BackupRegisterPacket,
     injector=None,
     retry_policy=None,
+    metrics=None,
 ) -> RegistrationResult:
     """Walk the register packet hop by hop; unwind on rejection.
 
@@ -142,10 +143,20 @@ def register_backup_path(
     the walk is the paper's atomic register/unwind and never retries.
     A faulted walk with no retry policy is unwound and reported with
     ``gave_up=True`` after the single attempt.
+
+    ``metrics`` (a :class:`~repro.metrics.ServiceMetrics`) receives
+    the walk's accounting — walks, hops, retries, drops, duplicates,
+    crashes, give-ups — once, after the outcome is final.
     """
     if injector is None:
-        return _register_walk(state, policy, packet)
-    return _register_with_faults(state, policy, packet, injector, retry_policy)
+        result = _register_walk(state, policy, packet)
+    else:
+        result = _register_with_faults(
+            state, policy, packet, injector, retry_policy
+        )
+    if metrics is not None:
+        metrics.observe_signaling(result)
+    return result
 
 
 def _register_walk(

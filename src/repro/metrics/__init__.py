@@ -1,0 +1,44 @@
+"""Dependency-free operational metrics.
+
+The online control plane (:mod:`repro.server`) needs an observable
+surface: how many admissions, how fast, how deep the backup
+re-establishment queue is, how much incremental link-state work the
+fast path is doing.  This package provides that surface without any
+third-party dependency:
+
+* :mod:`repro.metrics.registry` — counters, gauges (with optional
+  collect-on-scrape callbacks) and histograms in a
+  :class:`MetricsRegistry`, rendered as Prometheus text exposition
+  format or as a JSON-able snapshot;
+* :mod:`repro.metrics.textformat` — a parser/validator for the
+  Prometheus text format (used by tests and by the load generator to
+  assert the endpoint stays well-formed);
+* :mod:`repro.metrics.instruments` — :class:`ServiceMetrics`, the
+  DRTP-specific metric families, bound into
+  :class:`~repro.core.service.DRTPService`, backup signaling and
+  routing-scheme planning.
+
+Instrumentation is strictly optional: a service built without a
+``metrics`` argument records nothing and pays nothing.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from .textformat import ParsedSample, parse_prometheus_text
+from .instruments import ServiceMetrics
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "ParsedSample",
+    "parse_prometheus_text",
+    "ServiceMetrics",
+]

@@ -1,0 +1,169 @@
+"""Prometheus text-format parsing and validation.
+
+The exposition format is line-oriented and simple enough to validate
+exactly; doing so in-repo (instead of trusting the renderer) lets the
+server tests and the load generator assert the ``metrics`` endpoint
+stays scrapeable — the acceptance bar for the online control plane.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ParsedSample", "parse_prometheus_text"]
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(r"^# HELP ({}) (.*)$".format(_METRIC_NAME))
+_TYPE_RE = re.compile(
+    r"^# TYPE ({}) (counter|gauge|histogram|summary|untyped)$".format(
+        _METRIC_NAME
+    )
+)
+_SAMPLE_RE = re.compile(
+    r"^({})(\{{[^{{}}]*\}})? (-?(?:[0-9]+(?:\.[0-9]+)?"
+    r"(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)$".format(_METRIC_NAME)
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class PrometheusFormatError(ValueError):
+    """The text does not conform to the exposition format."""
+
+
+@dataclass
+class ParsedSample:
+    """One sample line: name, labels, value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class _Family:
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: List[ParsedSample] = field(default_factory=list)
+
+
+def _parse_value(text: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict]:
+    """Parse and validate an exposition document.
+
+    Returns ``{family_name: {"type", "help", "samples": [ParsedSample]}}``
+    and raises :class:`PrometheusFormatError` on any malformed line,
+    a sample without a preceding ``# TYPE``, or a histogram whose
+    cumulative buckets decrease or lack ``+Inf``.
+    """
+    families: Dict[str, _Family] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _HELP_RE.match(line)
+            if match:
+                families.setdefault(
+                    match.group(1), _Family(match.group(1))
+                ).help = match.group(2)
+                continue
+            match = _TYPE_RE.match(line)
+            if match:
+                families.setdefault(
+                    match.group(1), _Family(match.group(1))
+                ).kind = match.group(2)
+                continue
+            raise PrometheusFormatError(
+                "line {}: malformed comment {!r}".format(lineno, line)
+            )
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusFormatError(
+                "line {}: malformed sample {!r}".format(lineno, line)
+            )
+        name, label_blob, value_text = match.groups()
+        family_name = _family_of(name)
+        family = families.get(family_name)
+        if family is None or family.kind == "untyped":
+            # The renderer always emits TYPE before samples; a sample
+            # for an undeclared family means a corrupted exposition.
+            if family is None:
+                raise PrometheusFormatError(
+                    "line {}: sample {!r} before its # TYPE".format(
+                        lineno, name
+                    )
+                )
+        labels: Dict[str, str] = {}
+        if label_blob:
+            body = label_blob[1:-1]
+            consumed = 0
+            for piece in _LABEL_RE.finditer(body):
+                labels[piece.group(1)] = piece.group(2)
+                consumed = piece.end()
+            leftover = body[consumed:].strip(", ")
+            if leftover:
+                raise PrometheusFormatError(
+                    "line {}: malformed labels {!r}".format(lineno, label_blob)
+                )
+        family.samples.append(
+            ParsedSample(name, labels, _parse_value(value_text))
+        )
+
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return {
+        name: {
+            "type": family.kind,
+            "help": family.help,
+            "samples": family.samples,
+        }
+        for name, family in families.items()
+    }
+
+
+def _check_histogram(family: _Family) -> None:
+    buckets = [
+        sample for sample in family.samples
+        if sample.name == family.name + "_bucket"
+    ]
+    if not buckets:
+        raise PrometheusFormatError(
+            "histogram {} has no _bucket samples".format(family.name)
+        )
+    if buckets[-1].labels.get("le") != "+Inf":
+        raise PrometheusFormatError(
+            "histogram {} must end with le=\"+Inf\"".format(family.name)
+        )
+    previous = -1.0
+    for sample in buckets:
+        if sample.value < previous:
+            raise PrometheusFormatError(
+                "histogram {} buckets are not cumulative".format(family.name)
+            )
+        previous = sample.value
+    names = {sample.name for sample in family.samples}
+    for required in (family.name + "_sum", family.name + "_count"):
+        if required not in names:
+            raise PrometheusFormatError(
+                "histogram {} missing {}".format(family.name, required)
+            )

@@ -61,14 +61,20 @@ class AdvertisementCosts:
 
     @property
     def plsr_over_plain(self) -> float:
+        if self.plain == 0:
+            return 0.0
         return self.plsr / self.plain
 
     @property
     def dlsr_over_plain(self) -> float:
+        if self.plain == 0:
+            return 0.0
         return self.dlsr / self.plain
 
     @property
     def full_over_plain(self) -> float:
+        if self.plain == 0:
+            return 0.0
         return self.full_aplv / self.plain
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..network.database import LinkStateDatabase
@@ -128,6 +129,12 @@ class RoutingScheme(abc.ABC):
     search_unbounded = staticmethod(shortest_path)
     search_bounded = staticmethod(bounded_shortest_path)
 
+    #: Optional :class:`~repro.metrics.ServiceMetrics`; set by an
+    #: instrumented service so :meth:`plan_instrumented` can record
+    #: planning counters and latency without touching the scheme
+    #: implementations.
+    metrics = None
+
     def __init__(self) -> None:
         self._context: Optional[RoutingContext] = None
 
@@ -148,6 +155,18 @@ class RoutingScheme(abc.ABC):
     @abc.abstractmethod
     def plan(self, query: RouteQuery) -> RoutePlan:
         """Select primary and backup routes for a new DR-connection."""
+
+    def plan_instrumented(self, query: RouteQuery) -> RoutePlan:
+        """Plan with metrics: count the call, time it, and tally the
+        candidate routes considered.  Identical decisions to
+        :meth:`plan` — the instrumentation never touches routing state
+        — and a plain :meth:`plan` call when no metrics are bound."""
+        if self.metrics is None:
+            return self.plan(query)
+        started = perf_counter()
+        plan = self.plan(query)
+        self.metrics.observe_plan(self.name, plan, perf_counter() - started)
+        return plan
 
     def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:
         """Select a backup for an *already established* primary.

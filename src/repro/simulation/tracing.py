@@ -14,6 +14,7 @@ stays trace-free.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -47,15 +48,39 @@ class TraceEvent:
 
 
 class Tracer:
-    """An in-memory, optionally-filtered event collector."""
+    """An in-memory, optionally-filtered event collector.
 
-    def __init__(self, kinds: Optional[List[str]] = None) -> None:
+    ``max_events`` bounds memory on long campaigns: when set, the
+    tracer becomes a ring buffer keeping only the *newest* events and
+    counting how many it evicted (:attr:`dropped`).  ``None`` (the
+    default) keeps everything, as before.
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[List[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                "max_events must be >= 1 when given, got {}".format(
+                    max_events
+                )
+            )
         self._kinds = set(kinds) if kinds is not None else None
-        self._events: List[TraceEvent] = []
+        self.max_events = max_events
+        self._events: "deque" = deque(maxlen=max_events)
+        #: Events evicted from the ring buffer (0 while unbounded).
+        self.dropped = 0
 
     def record(self, time: float, kind: str, **details: Any) -> None:
         if self._kinds is not None and kind not in self._kinds:
             return
+        if (
+            self.max_events is not None
+            and len(self._events) == self.max_events
+        ):
+            self.dropped += 1  # deque(maxlen) evicts the oldest below
         self._events.append(TraceEvent(time=time, kind=kind, details=details))
 
     def events(self, kind: Optional[str] = None) -> List[TraceEvent]:

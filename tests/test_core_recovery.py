@@ -216,3 +216,85 @@ class TestMutatingRecovery:
         for link_id in (0, 5):
             service.fail_link(link_id, reconfigure=True)
             service.check_invariants()
+
+
+class TestFailRepairCycles:
+    """Full fail -> repair -> re-establish lifecycles."""
+
+    def test_node_failure_then_repair_restores_routability(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        assert service.request(0, 2, 1.0).accepted
+        service.fail_node(4)
+        assert any(
+            service.state.is_link_failed(link.link_id)
+            for link in net.out_links(4)
+        )
+        # The center switch is down: routes through it must be refused.
+        blocked = service.request(3, 5, 1.0)
+        if blocked.accepted:
+            assert 4 not in blocked.connection.primary_route.nodes
+        service.repair_node(4)
+        assert not any(
+            service.state.is_link_failed(link.link_id)
+            for link in net.out_links(4) + net.in_links(4)
+        )
+        after = service.request(1, 7, 1.0)
+        assert after.accepted
+        service.check_invariants()
+
+    def test_repair_link_is_idempotent_on_healthy_link(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        assert service.request(0, 8, 1.0).accepted
+        link_id = net.link_between(0, 1).link_id
+        before = service.state.fingerprint()
+        assert not service.state.is_link_failed(link_id)
+        service.repair_link(link_id)
+        service.repair_link(link_id)
+        assert not service.state.is_link_failed(link_id)
+        assert service.state.fingerprint() == before
+        service.check_invariants()
+
+    def test_fail_repair_reestablish_cycle(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        assert service.request(0, 2, 1.0).accepted
+        backup_link = net.link_between(3, 4).link_id
+        service.fail_link(backup_link, reconfigure=False)
+        conn = service.connection(0)
+        assert conn.backup is None
+        assert service.unprotected_ids() == [0]
+        # Queue for background re-protection; the scripted scheme
+        # cannot re-plan (plan_backup returns None), so the attempt
+        # must fail while the link is still down ...
+        assert service.queue_backup_reestablishment(0)
+        assert service.pending_backup_ids() == [0]
+        assert not service.reestablish_backup(0)
+        assert service.counters.backups_reestablished == 0
+        # ... then succeed once the link repairs and the scheme can
+        # offer the original backup again.
+        service.repair_link(backup_link)
+        service.scheme.plan_backup = (
+            lambda query, primary: Route.from_nodes(net, [0, 3, 4, 5, 2])
+        )
+        assert service.reestablish_backup(0)
+        assert service.connection(0).backup is not None
+        assert service.connection(0).state is ConnectionState.ACTIVE
+        assert service.pending_backup_ids() == []
+        assert service.counters.backups_reestablished == 1
+        service.check_invariants()
+
+    def test_queue_backup_reestablishment_double_enqueue(self):
+        net = mesh_network(3, 3, 10.0)
+        service = fixed_service(net, [([0, 1, 2], [0, 3, 4, 5, 2])])
+        assert service.request(0, 2, 1.0).accepted
+        service.fail_link(net.link_between(3, 4).link_id,
+                          reconfigure=False)
+        assert service.queue_backup_reestablishment(0)
+        assert service.queue_backup_reestablishment(0)  # same entry
+        assert service.pending_backup_ids() == [0]
+        # Protected or departed connections are not enqueueable.
+        service.release(0)
+        assert not service.queue_backup_reestablishment(0)
+        assert service.pending_backup_ids() == []

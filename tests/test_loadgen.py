@@ -1,0 +1,227 @@
+"""Tests for the deterministic load generator.
+
+Timeline construction (determinism, structure, fault mapping), the
+sequential reference replay, and the end-to-end differential check:
+one pipelined client against a live server must reach exactly the
+decisions a bare DRTPService reaches on the same timeline.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import DRTPService
+from repro.faults.plan import (
+    FailureBurstFaults,
+    FaultPlan,
+    LinkFlapFaults,
+)
+from repro.routing import DLSRScheme
+from repro.server import (
+    ControlPlaneServer,
+    LoadGenConfig,
+    LoadGenerator,
+    LoadReport,
+    build_timeline,
+    fetch_status,
+    run_sequential_reference,
+)
+from repro.topology import mesh_network
+
+
+class TestTimeline:
+    def test_same_seed_same_timeline(self):
+        config = LoadGenConfig(arrival_rate=30.0, duration=10.0,
+                               master_seed=11)
+        first = build_timeline(config, 16, 48)
+        second = build_timeline(config, 16, 48)
+        assert first == second
+        assert first  # non-empty at rate 30 over 10s
+
+    def test_different_seed_different_timeline(self):
+        base = dict(arrival_rate=30.0, duration=10.0)
+        first = build_timeline(LoadGenConfig(master_seed=1, **base), 16, 48)
+        second = build_timeline(LoadGenConfig(master_seed=2, **base), 16, 48)
+        assert first != second
+
+    def test_timeline_structure(self):
+        config = LoadGenConfig(arrival_rate=50.0, duration=8.0,
+                               hold_min=1.0, hold_max=3.0, master_seed=5)
+        timeline = build_timeline(config, 16, 48)
+        times = [event.time for event in timeline]
+        assert times == sorted(times)
+        admits = [e for e in timeline if e.op == "admit"]
+        releases = [e for e in timeline if e.op == "release"]
+        assert {e.op for e in timeline} == {"admit", "release"}
+        # Request ids are dense and client-chosen.
+        assert [e.args["request_id"] for e in admits] == list(
+            range(len(admits))
+        )
+        for event in admits:
+            assert event.args["source"] != event.args["destination"]
+            assert 0 <= event.args["source"] < 16
+            assert 0 <= event.args["destination"] < 16
+            assert 1.0 <= event.args["hold"] <= 3.0
+        # Each release follows its admit and lands within the run.
+        admit_time = {e.args["request_id"]: e.time for e in admits}
+        for event in releases:
+            assert event.time <= config.duration
+            assert event.time >= admit_time[event.args["connection"]]
+
+    def test_fault_plan_maps_to_link_ops(self):
+        plan = FaultPlan(flaps=LinkFlapFaults(rate=1.0, down_min=0.5,
+                                              down_max=1.0))
+        config = LoadGenConfig(arrival_rate=5.0, duration=20.0,
+                               master_seed=3, fault_plan=plan)
+        timeline = build_timeline(config, 16, 48)
+        fails = [e for e in timeline if e.op == "fail_link"]
+        repairs = [e for e in timeline if e.op == "repair_link"]
+        assert fails and repairs
+        for event in fails + repairs:
+            assert 0 <= event.args["link"] < 48
+
+    def test_correlated_bursts_require_real_network(self):
+        plan = FaultPlan(bursts=FailureBurstFaults(rate=0.5,
+                                                   correlated=True))
+        config = LoadGenConfig(duration=20.0, fault_plan=plan)
+        with pytest.raises(ValueError):
+            build_timeline(config, 16, 48)
+        # With the topology supplied the same plan schedules fine.
+        net = mesh_network(4, 4, 10.0)
+        timeline = build_timeline(config, net.num_nodes, net.num_links,
+                                  network=net)
+        assert any(e.op == "fail_link" for e in timeline)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(duration=-1.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(bw_req=0.0)
+        with pytest.raises(ValueError):
+            build_timeline(LoadGenConfig(), 1, 0)
+
+
+class TestLoadReport:
+    def test_ratios_guarded_when_empty(self):
+        report = LoadReport()
+        assert report.acceptance_ratio == 0.0
+        assert report.requests_per_second == 0.0
+        assert report.protocol_error_total == 0
+
+    def test_to_dict_is_complete(self):
+        report = LoadReport(admits=4, accepted=3, rejected=1,
+                            wall_seconds=2.0, responses=10)
+        payload = report.to_dict()
+        assert payload["acceptance_ratio"] == pytest.approx(0.75)
+        assert payload["requests_per_second"] == pytest.approx(5.0)
+
+
+class TestGeneratorValidation:
+    def test_requires_exactly_one_endpoint(self):
+        with pytest.raises(ValueError):
+            LoadGenerator([])
+        with pytest.raises(ValueError):
+            LoadGenerator([], socket_path="/tmp/x", host="h")
+        with pytest.raises(ValueError):
+            LoadGenerator([], socket_path="/tmp/x", time_scale=-1.0)
+        with pytest.raises(ValueError):
+            LoadGenerator([], socket_path="/tmp/x", max_inflight=0)
+
+
+class TestSequentialReference:
+    def test_reference_matches_direct_service_use(self):
+        config = LoadGenConfig(arrival_rate=40.0, duration=10.0,
+                               master_seed=9, bw_req=2.0)
+        net = mesh_network(4, 4, 10.0)
+        timeline = build_timeline(config, net.num_nodes, net.num_links)
+        reference = run_sequential_reference(
+            DRTPService(net, DLSRScheme()), timeline
+        )
+        assert reference["admits"] == sum(
+            1 for e in timeline if e.op == "admit"
+        )
+        assert len(reference["decisions"]) == reference["admits"]
+        assert reference["accepted"] == sum(reference["decisions"])
+        # Deterministic: a second replay on a fresh twin agrees.
+        twin = run_sequential_reference(
+            DRTPService(mesh_network(4, 4, 10.0), DLSRScheme()), timeline
+        )
+        assert twin["decisions"] == reference["decisions"]
+
+
+class TestEndToEndEquivalence:
+    """The acceptance bar: server decisions == sequential decisions."""
+
+    def _run(self, tmp_path, config, *, saturated=False):
+        capacity = 6.0 if saturated else 30.0
+
+        async def _go():
+            from repro.metrics import ServiceMetrics
+
+            net = mesh_network(4, 4, capacity)
+            metrics = ServiceMetrics()
+            service = DRTPService(net, DLSRScheme(), metrics=metrics)
+            metrics.bind_service(service)
+            sock = str(tmp_path / "ctl.sock")
+            server = ControlPlaneServer(service, metrics,
+                                        socket_path=sock)
+            await server.start()
+            status = await fetch_status(socket_path=sock)
+            timeline = build_timeline(
+                config, status["nodes"], status["links"]
+            )
+            generator = LoadGenerator(timeline, socket_path=sock)
+            report = await generator.run()
+            await server.shutdown()
+            twin = DRTPService(mesh_network(4, 4, capacity), DLSRScheme())
+            reference = run_sequential_reference(twin, timeline)
+            return report, reference, server
+
+        return asyncio.run(_go())
+
+    def test_decisions_identical_to_sequential_run(self, tmp_path):
+        config = LoadGenConfig(arrival_rate=60.0, duration=8.0,
+                               master_seed=21)
+        report, reference, server = self._run(tmp_path, config)
+        assert report.protocol_error_total == 0
+        assert report.admits == reference["admits"] > 0
+        assert report.decisions == reference["decisions"]
+        assert report.acceptance_ratio == pytest.approx(
+            reference["acceptance_ratio"]
+        )
+        assert server.stats.drained_clean
+
+    def test_equivalence_holds_under_saturation_and_faults(self, tmp_path):
+        plan = FaultPlan(flaps=LinkFlapFaults(rate=0.4, down_min=0.5,
+                                              down_max=2.0))
+        config = LoadGenConfig(arrival_rate=60.0, duration=8.0,
+                               master_seed=13, bw_req=2.0,
+                               fault_plan=plan)
+        report, reference, _ = self._run(tmp_path, config, saturated=True)
+        assert report.protocol_error_total == 0
+        assert 0.0 < report.acceptance_ratio < 1.0  # actually saturated
+        assert report.fail_links > 0 and report.repair_links > 0
+        assert report.decisions == reference["decisions"]
+        # The +-0.5% manifest bound from the issue, trivially met when
+        # the traces are identical — asserted anyway as the contract.
+        assert abs(
+            report.acceptance_ratio - reference["acceptance_ratio"]
+        ) <= 0.005
+
+    def test_report_epilogue_captures_status_and_metrics(self, tmp_path):
+        config = LoadGenConfig(arrival_rate=30.0, duration=4.0,
+                               master_seed=2)
+        report, _, _ = self._run(tmp_path, config)
+        assert report.final_status["counters"]["accepted"] == (
+            report.accepted
+        )
+        from repro.metrics import parse_prometheus_text
+
+        families = parse_prometheus_text(report.prometheus)
+        admitted = sum(
+            sample.value
+            for sample in families["drtp_admissions_total"]["samples"]
+        )
+        assert admitted == report.accepted

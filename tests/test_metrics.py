@@ -1,0 +1,296 @@
+"""Tests for the dependency-free metrics package.
+
+Covers the registry primitives (counters, gauges, histograms, error
+cases), the Prometheus text renderer together with the in-repo
+line-format validator, and the ServiceMetrics instrumentation wired
+through a live DRTPService — including the four families the online
+control plane is required to expose (admissions total, rejections by
+reason, admission latency histogram, backup re-establishment queue
+depth).
+"""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    MetricsError,
+    MetricsRegistry,
+    ServiceMetrics,
+    parse_prometheus_text,
+)
+from repro.metrics.registry import DEFAULT_BUCKETS
+from repro.metrics.textformat import PrometheusFormatError
+from repro.core import DRTPService
+from repro.routing import DLSRScheme
+from repro.topology import mesh_network
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs")
+        assert counter.total() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("jobs_total", "jobs")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_labeled_counter_tracks_series_independently(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "ops_total", "ops", labels=("op", "status")
+        )
+        counter.inc(1, "admit", "ok")
+        counter.inc(2, "admit", "ok")
+        counter.inc(5, "release", "ok")
+        assert counter.value("admit", "ok") == pytest.approx(3.0)
+        assert counter.value("release", "ok") == pytest.approx(5.0)
+        assert counter.value("admit", "error") == 0.0
+        assert counter.total() == pytest.approx(8.0)
+
+    def test_wrong_label_arity_rejected(self):
+        counter = MetricsRegistry().counter(
+            "ops_total", "ops", labels=("op",)
+        )
+        with pytest.raises(MetricsError):
+            counter.inc(1)
+        with pytest.raises(MetricsError):
+            counter.inc(1, "admit", "extra")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth", "queue depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value() == pytest.approx(7.0)
+
+    def test_collector_is_read_on_every_scrape(self):
+        box = {"n": 0}
+        gauge = MetricsRegistry().gauge("depth", "queue depth")
+        assert gauge.collect_with(lambda: box["n"]) is gauge
+        assert gauge.value() == 0.0
+        box["n"] = 42
+        assert gauge.value() == 42.0
+
+    def test_labeled_collector_returns_series_map(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("ratio", "per-scheme", labels=("scheme",))
+        gauge.collect_with(lambda: {("P-LSR",): 0.75})
+        text = registry.render_prometheus()
+        families = parse_prometheus_text(text)
+        samples = families["ratio"]["samples"]
+        assert samples[0].labels == {"scheme": "P-LSR"}
+        assert samples[0].value == pytest.approx(0.75)
+
+
+class TestHistogram:
+    def test_observe_updates_count_and_sum(self):
+        histogram = MetricsRegistry().histogram("lat", "latency")
+        for value in (0.001, 0.002, 0.3):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.303)
+
+    def test_quantile_semantics(self):
+        histogram = MetricsRegistry().histogram(
+            "lat", "latency", buckets=(1.0, 2.0, 4.0)
+        )
+        assert histogram.quantile(0.5) == 0.0  # empty
+        for value in (0.5, 0.6, 3.0):
+            histogram.observe(value)
+        # Two of three observations land in the first bucket.
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        histogram.observe(100.0)  # beyond the last finite bucket
+        assert histogram.quantile(1.0) == math.inf
+        with pytest.raises(MetricsError):
+            histogram.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("lat", "latency", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs_total", "jobs")
+        second = registry.counter("jobs_total", "jobs")
+        assert first is second
+        assert len(registry) == 1
+        assert "jobs_total" in registry
+        assert registry.get("jobs_total") is first
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "a thing")
+        with pytest.raises(MetricsError):
+            registry.gauge("thing", "now a gauge")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().get("missing")
+
+    def test_invalid_metric_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9starts_with_digit", "has space", "has-dash"):
+            with pytest.raises(MetricsError):
+                registry.counter(bad, "bad")
+
+    def test_snapshot_is_json_friendly(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs").inc(3)
+        registry.gauge("depth", "depth").set(2)
+        registry.histogram("lat", "latency").observe(0.01)
+        snapshot = registry.snapshot()
+        import json
+
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["jobs_total"]["value"] == pytest.approx(3.0)
+
+
+class TestPrometheusRendering:
+    def test_rendered_output_parses_and_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "ops_total", "operations", labels=("op",)
+        )
+        counter.inc(4, "admit")
+        registry.gauge("depth", "queue depth").set(7)
+        histogram = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.01, 0.1)
+        )
+        histogram.observe(0.005)
+        histogram.observe(0.5)
+
+        families = parse_prometheus_text(registry.render_prometheus())
+        assert families["ops_total"]["type"] == "counter"
+        assert families["depth"]["type"] == "gauge"
+        assert families["lat_seconds"]["type"] == "histogram"
+
+        buckets = [
+            sample
+            for sample in families["lat_seconds"]["samples"]
+            if sample.name == "lat_seconds_bucket"
+        ]
+        assert [sample.labels["le"] for sample in buckets] == [
+            "0.01", "0.1", "+Inf",
+        ]
+        assert [sample.value for sample in buckets] == [1.0, 1.0, 2.0]
+        names = {
+            sample.name for sample in families["lat_seconds"]["samples"]
+        }
+        assert "lat_seconds_sum" in names
+        assert "lat_seconds_count" in names
+
+    def test_empty_unlabeled_instruments_render_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs")
+        registry.gauge("depth", "depth")
+        families = parse_prometheus_text(registry.render_prometheus())
+        assert families["jobs_total"]["samples"][0].value == 0.0
+        assert families["depth"]["samples"][0].value == 0.0
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total", "z")
+        registry.counter("alpha_total", "a")
+        text = registry.render_prometheus()
+        assert text.index("alpha_total") < text.index("zeta_total")
+
+    def test_parser_rejects_malformed_documents(self):
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus_text("not a metric line !!!")
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus_text("orphan_sample 1")
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 2\n'
+                'h_bucket{le="+Inf"} 1\n'  # not cumulative
+                "h_sum 1\nh_count 1\n"
+            )
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 1\n'  # missing +Inf terminator
+                "h_sum 1\nh_count 1\n"
+            )
+
+
+def instrumented_service():
+    metrics = ServiceMetrics()
+    net = mesh_network(4, 4, 10.0)
+    service = DRTPService(net, DLSRScheme(), metrics=metrics)
+    metrics.bind_service(service)
+    return net, service, metrics
+
+
+class TestServiceInstrumentation:
+    """The four required families, recorded through a live service."""
+
+    def test_admissions_and_latency_recorded(self):
+        net, service, metrics = instrumented_service()
+        for source in range(3):
+            assert service.request(source, 15, 1.0).accepted
+        assert metrics.admissions.value("D-LSR") == 3.0
+        assert metrics.admission_latency.count == 3
+        assert metrics.admission_latency.sum > 0.0
+
+    def test_rejections_labeled_by_reason(self):
+        net, service, metrics = instrumented_service()
+        decision = service.request(0, 15, 100.0)  # exceeds capacity
+        assert not decision.accepted
+        assert metrics.rejections.value("D-LSR", decision.reason) == 1.0
+        assert metrics.rejections.total() == 1.0
+
+    def test_reestablish_queue_depth_tracks_service(self):
+        net, service, metrics = instrumented_service()
+        assert service.request(0, 15, 1.0).accepted
+        conn = service.connection(0)
+        service.fail_link(
+            conn.backup_route.link_ids[0], reconfigure=False
+        )
+        if service.connection(0).backup is None:
+            service.queue_backup_reestablishment(0)
+            assert metrics.reestablish_queue_depth.value() == float(
+                len(service.pending_backup_ids())
+            )
+            assert metrics.reestablish_queue_depth.value() >= 1.0
+
+    def test_full_exposition_parses_with_required_families(self):
+        net, service, metrics = instrumented_service()
+        service.request(0, 15, 1.0)
+        service.request(0, 15, 100.0)
+        families = parse_prometheus_text(
+            metrics.registry.render_prometheus()
+        )
+        for required in (
+            "drtp_admissions_total",
+            "drtp_rejections_total",
+            "drtp_admission_latency_seconds",
+            "drtp_backup_reestablish_queue_depth",
+        ):
+            assert required in families, required
+        assert families["drtp_admission_latency_seconds"]["type"] == (
+            "histogram"
+        )
+
+    def test_uninstrumented_service_records_nothing(self):
+        metrics = ServiceMetrics()
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        assert service.request(0, 8, 1.0).accepted
+        assert metrics.admissions.total() == 0.0
+        assert metrics.admission_latency.count == 0

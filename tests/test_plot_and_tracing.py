@@ -76,6 +76,30 @@ class TestTracer:
         tracer.record(0.0, "drop")
         assert tracer.counts() == {"keep": 1}
 
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(max_events=3)
+        for step in range(5):
+            tracer.record(float(step), "tick", n=step)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [event.details["n"] for event in tracer] == [2, 3, 4]
+        # Filtered-out kinds never enter the ring, so never evict.
+        filtered = Tracer(kinds=["keep"], max_events=2)
+        for step in range(4):
+            filtered.record(float(step), "drop")
+        assert len(filtered) == 0 and filtered.dropped == 0
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer()
+        for step in range(100):
+            tracer.record(float(step), "tick")
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
     def test_jsonl_round_trip(self, tmp_path):
         tracer = Tracer()
         tracer.record(1.5, "admitted", connection=7)

@@ -1,0 +1,58 @@
+"""Zero-denominator regression tests for every ratio helper.
+
+A freshly-constructed (or empty) statistics object must report 0.0
+from its ratio properties rather than raising ZeroDivisionError —
+the online server renders these on every scrape, including the very
+first one before any traffic has arrived.
+"""
+
+from repro.core.service import ServiceCounters
+from repro.network.advertisement import AdvertisementCosts
+from repro.server import LoadReport
+
+
+class TestServiceCounters:
+    def test_all_ratios_zero_on_fresh_counters(self):
+        counters = ServiceCounters()
+        assert counters.acceptance_ratio == 0.0
+        assert counters.rejection_ratio == 0.0
+        assert counters.reestablish_success_ratio == 0.0
+        assert counters.mean_signaling_retries == 0.0
+
+    def test_ratios_activate_with_traffic(self):
+        counters = ServiceCounters(requests=4, accepted=3)
+        counters.record_rejection("no-route")
+        assert counters.acceptance_ratio == 0.75
+        assert counters.rejection_ratio == 0.25
+
+    def test_reestablish_ratio_counts_attempts_not_successes(self):
+        counters = ServiceCounters(
+            reestablish_attempts=4, backups_reestablished=1
+        )
+        assert counters.reestablish_success_ratio == 0.25
+
+
+class TestAdvertisementCosts:
+    def test_overhead_ratios_guard_zero_plain(self):
+        costs = AdvertisementCosts(plain=0, plsr=0, dlsr=0, full_aplv=0)
+        assert costs.plsr_over_plain == 0.0
+        assert costs.dlsr_over_plain == 0.0
+        assert costs.full_over_plain == 0.0
+
+    def test_overhead_ratios_normal_case(self):
+        costs = AdvertisementCosts(plain=12, plsr=16, dlsr=18,
+                                   full_aplv=48)
+        assert costs.plsr_over_plain == 16 / 12
+        assert costs.dlsr_over_plain == 18 / 12
+        assert costs.full_over_plain == 4.0
+
+
+class TestLoadReport:
+    def test_empty_report_ratios(self):
+        report = LoadReport()
+        assert report.acceptance_ratio == 0.0
+        assert report.requests_per_second == 0.0
+
+    def test_zero_wall_clock_guarded(self):
+        report = LoadReport(responses=10, wall_seconds=0.0)
+        assert report.requests_per_second == 0.0

@@ -1,0 +1,414 @@
+"""Tests for the online control-plane server.
+
+Protocol unit tests, in-process server round-trips over a Unix
+socket, error handling for malformed input, refresh coalescing for
+snapshot-mode databases, graceful drain, and the SIGTERM-during-load
+subprocess integration test the issue requires.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import DRTPService
+from repro.metrics import parse_prometheus_text
+from repro.routing import DLSRScheme, PLSRScheme
+from repro.server import (
+    ControlPlaneServer,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.server import protocol
+from repro.topology import mesh_network
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        wire = encode_request(
+            "admit", {"source": 0, "destination": 5, "bw": 1.0},
+            request_id=7,
+        )
+        assert wire.endswith(b"\n")
+        request = decode_request(wire.decode())
+        assert request.op == "admit"
+        assert request.id == 7
+        assert request.args["destination"] == 5
+
+    def test_response_round_trip(self):
+        wire = encode_response(3, True, {"accepted": True})
+        rid, ok, body = decode_response(wire.decode())
+        assert (rid, ok) == (3, True)
+        assert body == {"accepted": True}
+        wire = encode_response(3, False, error_kind=protocol.ERR_BAD_REQUEST,
+                               error_message="nope")
+        rid, ok, body = decode_response(wire.decode())
+        assert not ok
+        assert body["type"] == protocol.ERR_BAD_REQUEST
+
+    def test_decode_errors_carry_kind(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request("{not json")
+        assert exc.value.kind == protocol.ERR_BAD_JSON
+        with pytest.raises(ProtocolError) as exc:
+            decode_request('["a", "list"]')
+        assert exc.value.kind == protocol.ERR_BAD_REQUEST
+        with pytest.raises(ProtocolError) as exc:
+            decode_request('{"op": "explode", "id": 9}')
+        assert exc.value.kind == protocol.ERR_UNKNOWN_OP
+        assert exc.value.request_id == 9  # still correlatable
+        with pytest.raises(ProtocolError) as exc:
+            decode_request('{"op": "admit", "args": []}')
+        assert exc.value.kind == protocol.ERR_BAD_REQUEST
+
+    def test_require_int_rejects_bools_and_floats(self):
+        with pytest.raises(ProtocolError):
+            protocol.require_int({"n": True}, "n", None)
+        with pytest.raises(ProtocolError):
+            protocol.require_int({"n": 1.5}, "n", None)
+        with pytest.raises(ProtocolError):
+            protocol.require_int({}, "n", None)
+        assert protocol.require_int({"n": 4}, "n", None) == 4
+
+    def test_require_number_rejects_bools(self):
+        with pytest.raises(ProtocolError):
+            protocol.require_number({"x": False}, "x", None)
+        assert protocol.require_number({"x": 2}, "x", None) == 2.0
+
+    def test_every_op_is_classified(self):
+        assert protocol.MUTATING_OPS | protocol.READ_OPS == protocol.OPS
+        assert not protocol.MUTATING_OPS & protocol.READ_OPS
+
+
+# ----------------------------------------------------------------------
+# In-process round-trips
+# ----------------------------------------------------------------------
+def run_session(tmp_path, raw_lines, *, live_database=True,
+                scheme=None, before_close=None):
+    """Serve a 4x4 mesh on a Unix socket, write ``raw_lines`` as one
+    pipelined burst, read one response per line, shut down.  Returns
+    ``(responses, server)`` where responses are decoded
+    ``(id, ok, body)`` tuples in order."""
+
+    async def _run():
+        net = mesh_network(4, 4, 10.0)
+        service = DRTPService(
+            net, scheme if scheme is not None else DLSRScheme(),
+            live_database=live_database,
+        )
+        sock = str(tmp_path / "ctl.sock")
+        server = ControlPlaneServer(service, socket_path=sock)
+        await server.start()
+        reader, writer = await asyncio.open_unix_connection(sock)
+        writer.write(b"".join(raw_lines))
+        await writer.drain()
+        responses = []
+        for _ in raw_lines:
+            line = await reader.readline()
+            responses.append(decode_response(line.decode()))
+        if before_close is not None:
+            await before_close(server, reader, writer)
+        writer.close()
+        await server.shutdown()
+        return responses, server
+
+    return asyncio.run(_run())
+
+
+class TestServerRoundTrips:
+    def test_admit_release_cycle(self, tmp_path):
+        responses, server = run_session(tmp_path, [
+            encode_request("admit", {"source": 0, "destination": 15,
+                                     "bw": 1.0}, request_id=1),
+            encode_request("status", request_id=2),
+            encode_request("release", {"connection": 0}, request_id=3),
+            encode_request("release", {"connection": 0}, request_id=4),
+        ])
+        (rid1, ok1, admit), (_, ok2, status), (_, ok3, rel), \
+            (_, ok4, rel_again) = responses
+        assert (rid1, ok1, ok2, ok3, ok4) == (1, True, True, True, True)
+        assert admit["accepted"] and admit["connection"] == 0
+        assert admit["primary_hops"] >= 1
+        assert status["active_connections"] == 1
+        assert status["counters"]["accepted"] == 1
+        assert rel == {"released": True, "connection": 0}
+        # Releasing again is a domain outcome, not a protocol error.
+        assert rel_again == {"released": False, "connection": 0}
+        assert server.stats.protocol_errors == 0
+
+    def test_fail_and_repair_link(self, tmp_path):
+        responses, server = run_session(tmp_path, [
+            encode_request("admit", {"source": 0, "destination": 15,
+                                     "bw": 1.0}, request_id=1),
+            encode_request("fail_link", {"link": 0}, request_id=2),
+            encode_request("repair_link", {"link": 0}, request_id=3),
+            encode_request("repair_link", {"link": 0}, request_id=4),
+        ])
+        _, (_, ok2, failed), (_, ok3, repaired), (_, ok4, again) = responses
+        assert ok2 and ok3 and ok4
+        assert failed["link"] == 0
+        assert repaired == {"link": 0, "repaired": True, "was_failed": True}
+        assert again == {"link": 0, "repaired": True, "was_failed": False}
+
+    def test_ping_and_metrics(self, tmp_path):
+        responses, _ = run_session(tmp_path, [
+            encode_request("ping", request_id="p"),
+            encode_request("metrics", request_id="m"),
+            encode_request("metrics", {"format": "json"}, request_id="j"),
+        ])
+        (_, ok1, pong), (_, ok2, prom), (_, ok3, js) = responses
+        assert ok1 and pong == {"pong": True, "draining": False}
+        assert ok2 and prom["format"] == "prometheus"
+        families = parse_prometheus_text(prom["body"])
+        assert "drtp_server_requests_total" in families
+        assert ok3 and js["format"] == "json"
+        assert "drtp_server_requests_total" in js["metrics"]
+
+    def test_protocol_errors_answered_not_fatal(self, tmp_path):
+        responses, server = run_session(tmp_path, [
+            b"this is not json\n",
+            encode_request("metrics", {"format": "xml"}, request_id=2),
+            b'{"op": "warp", "id": 3}\n',
+            encode_request("admit", {"source": 0, "destination": 99,
+                                     "bw": 1.0}, request_id=4),
+            encode_request("admit", {"source": 0, "destination": 0,
+                                     "bw": 1.0}, request_id=5),
+            encode_request("admit", {"source": 0, "destination": 15,
+                                     "bw": -1.0}, request_id=6),
+            encode_request("admit", {"source": True, "destination": 15,
+                                     "bw": 1.0}, request_id=7),
+            encode_request("release", {}, request_id=8),
+            encode_request("fail_link", {"link": 10_000}, request_id=9),
+            encode_request("ping", request_id=10),  # server still alive
+        ])
+        kinds = [body.get("type") for _, ok, body in responses if not ok]
+        assert kinds == [
+            protocol.ERR_BAD_JSON,
+            protocol.ERR_BAD_REQUEST,   # metrics format
+            protocol.ERR_UNKNOWN_OP,
+            protocol.ERR_BAD_REQUEST,   # destination out of range
+            protocol.ERR_BAD_REQUEST,   # source == destination
+            protocol.ERR_BAD_REQUEST,   # bw <= 0
+            protocol.ERR_BAD_REQUEST,   # bool source
+            protocol.ERR_BAD_REQUEST,   # missing connection
+            protocol.ERR_BAD_REQUEST,   # link out of range
+        ]
+        rid, ok, pong = responses[-1]
+        assert (rid, ok) == (10, True) and pong["pong"]
+        assert server.stats.protocol_errors == 9
+        assert server.stats.internal_errors == 0
+
+    def test_pipelined_burst_preserves_order_and_coalesces(self, tmp_path):
+        lines = [
+            encode_request(
+                "admit",
+                {"source": i, "destination": 15 - i, "bw": 0.5,
+                 "request_id": i},
+                request_id=i,
+            )
+            for i in range(8)
+        ] + [encode_request("status", request_id=99)]
+        responses, server = run_session(
+            tmp_path, lines, live_database=False, scheme=PLSRScheme(),
+        )
+        rids = [rid for rid, _, _ in responses]
+        assert rids == list(range(8)) + [99]
+        accepted = [body for _, ok, body in responses[:-1]
+                    if ok and body.get("accepted")]
+        assert len(accepted) == 8
+        # connection_id == request_id: pipelined clients rely on it.
+        assert [body["connection"] for body in accepted] == list(range(8))
+        status = responses[-1][2]
+        assert status["counters"]["accepted"] == 8
+        # One burst -> one batch -> one snapshot refresh for all eight
+        # admissions (seven coalesced away).
+        assert server.stats.refreshes == 1
+        assert server.stats.refreshes_coalesced == 7
+
+    def test_live_database_never_refreshes(self, tmp_path):
+        responses, server = run_session(tmp_path, [
+            encode_request("admit", {"source": 0, "destination": 15,
+                                     "bw": 1.0}, request_id=1),
+        ])
+        assert responses[0][1]
+        assert server.stats.refreshes == 0
+
+    def test_status_reports_draining_during_shutdown(self, tmp_path):
+        async def _run():
+            net = mesh_network(4, 4, 10.0)
+            service = DRTPService(net, DLSRScheme())
+            sock = str(tmp_path / "ctl.sock")
+            server = ControlPlaneServer(service, socket_path=sock)
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(encode_request("ping", request_id=1))
+            await writer.drain()
+            await reader.readline()
+            shutdown = asyncio.ensure_future(server.shutdown())
+            await shutdown
+            # The drain closed our idle connection and removed the
+            # socket; new connections must be refused.
+            assert not (tmp_path / "ctl.sock").exists()
+            with pytest.raises((ConnectionRefusedError, FileNotFoundError)):
+                await asyncio.open_unix_connection(sock)
+            return server
+
+        server = asyncio.run(_run())
+        assert server.stats.drained_clean
+
+    def test_manifest_written_and_complete(self, tmp_path):
+        manifest_path = tmp_path / "out" / "manifest.json"
+
+        async def _run():
+            net = mesh_network(4, 4, 10.0)
+            service = DRTPService(net, DLSRScheme())
+            sock = str(tmp_path / "ctl.sock")
+            server = ControlPlaneServer(
+                service, socket_path=sock,
+                manifest_path=str(manifest_path),
+            )
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(encode_request(
+                "admit", {"source": 0, "destination": 15, "bw": 1.0},
+                request_id=1,
+            ))
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+            server.request_shutdown("test")
+            await server._finished.wait()
+
+        asyncio.run(_run())
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["version"] == 1
+        assert manifest["exit_reason"] == "test"
+        assert manifest["server"]["drained_clean"]
+        assert manifest["service"]["accepted"] == 1
+        assert manifest["service"]["acceptance_ratio"] == 1.0
+        assert "drtp_admissions_total" in manifest["metrics"]
+
+    def test_stale_socket_replaced_live_socket_refused(self, tmp_path):
+        async def _run():
+            sock = str(tmp_path / "ctl.sock")
+            Path(sock).touch()  # stale non-socket leftover
+            net = mesh_network(3, 3, 10.0)
+            first = ControlPlaneServer(
+                DRTPService(net, DLSRScheme()), socket_path=sock
+            )
+            await first.start()  # replaces the stale file
+            second = ControlPlaneServer(
+                DRTPService(net, DLSRScheme()), socket_path=sock
+            )
+            with pytest.raises(RuntimeError):
+                await second.start()  # live socket must be refused
+            await first.shutdown()
+
+        asyncio.run(_run())
+
+    def test_requires_exactly_one_endpoint(self):
+        net = mesh_network(3, 3, 10.0)
+        service = DRTPService(net, DLSRScheme())
+        with pytest.raises(ValueError):
+            ControlPlaneServer(service)
+        with pytest.raises(ValueError):
+            ControlPlaneServer(
+                service, socket_path="/tmp/x.sock", host="127.0.0.1"
+            )
+
+    def test_tcp_ephemeral_port_resolved(self, tmp_path):
+        async def _run():
+            net = mesh_network(3, 3, 10.0)
+            server = ControlPlaneServer(
+                DRTPService(net, DLSRScheme()),
+                host="127.0.0.1", port=0,
+            )
+            await server.start()
+            assert server.port != 0
+            assert server.endpoint == "tcp:127.0.0.1:{}".format(server.port)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(encode_request("ping", request_id=1))
+            await writer.drain()
+            rid, ok, body = decode_response(
+                (await reader.readline()).decode()
+            )
+            assert ok and body["pong"]
+            writer.close()
+            await server.shutdown()
+
+        asyncio.run(_run())
+
+
+# ----------------------------------------------------------------------
+# SIGTERM integration: drain under active load, exit 0, full manifest
+# ----------------------------------------------------------------------
+class TestSigtermDrain:
+    def test_sigterm_during_load_drains_and_writes_manifest(self, tmp_path):
+        sock = tmp_path / "serve.sock"
+        manifest_path = tmp_path / "manifest.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        serve = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--socket", str(sock),
+                "--rows", "4", "--cols", "4",
+                "--manifest", str(manifest_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while not sock.exists():
+                assert serve.poll() is None, serve.stdout.read()
+                assert time.monotonic() < deadline, "socket never appeared"
+                time.sleep(0.05)
+
+            # Keep load flowing while the signal lands: the loadtest
+            # pipelines admissions over the socket the whole time.
+            load = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "loadtest",
+                    "--socket", str(sock),
+                    "--rate", "200", "--duration", "30", "--seed", "3",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            time.sleep(1.5)  # let admissions start
+            assert serve.poll() is None
+            serve.send_signal(signal.SIGTERM)
+            out, _ = serve.communicate(timeout=20)
+            load.communicate(timeout=30)
+        finally:
+            for proc in (serve, load):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+
+        assert serve.returncode == 0, out
+        assert not sock.exists()  # unlinked on drain
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["exit_reason"] == "SIGTERM"
+        assert manifest["server"]["drained_clean"]
+        assert manifest["server"]["protocol_errors"] == 0
+        assert manifest["service"]["accepted"] > 0
+        assert "drtp_admissions_total" in manifest["metrics"]
