@@ -331,6 +331,22 @@ class MetricsRegistry:
                 raise MetricsError(
                     "{} already registered as {}".format(name, existing.kind)
                 )
+            labels = kwargs.get("labels")
+            if labels is not None and tuple(labels) != existing.label_names:
+                raise MetricsError(
+                    "{} already registered with labels {}, got {}".format(
+                        name, existing.label_names, tuple(labels)
+                    )
+                )
+            buckets = kwargs.get("buckets")
+            if buckets is not None and (
+                tuple(float(b) for b in buckets) != existing.buckets
+            ):
+                raise MetricsError(
+                    "{} already registered with buckets {}, got {}".format(
+                        name, existing.buckets, tuple(buckets)
+                    )
+                )
             return existing
         metric = factory(name, help_text, **kwargs)
         self._metrics[name] = metric

@@ -45,6 +45,9 @@ class ParsedSample:
 class _Family:
     name: str
     kind: str = "untyped"
+    #: True once an explicit ``# TYPE`` line was seen (a ``# HELP``
+    #: line alone creates the family but does not type it).
+    typed: bool = False
     help: str = ""
     samples: List[ParsedSample] = field(default_factory=list)
 
@@ -88,9 +91,11 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
                 continue
             match = _TYPE_RE.match(line)
             if match:
-                families.setdefault(
+                family = families.setdefault(
                     match.group(1), _Family(match.group(1))
-                ).kind = match.group(2)
+                )
+                family.kind = match.group(2)
+                family.typed = True
                 continue
             raise PrometheusFormatError(
                 "line {}: malformed comment {!r}".format(lineno, line)
@@ -103,15 +108,15 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
         name, label_blob, value_text = match.groups()
         family_name = _family_of(name)
         family = families.get(family_name)
-        if family is None or family.kind == "untyped":
+        if family is None or not family.typed:
             # The renderer always emits TYPE before samples; a sample
-            # for an undeclared family means a corrupted exposition.
-            if family is None:
-                raise PrometheusFormatError(
-                    "line {}: sample {!r} before its # TYPE".format(
-                        lineno, name
-                    )
+            # for an undeclared family (even one that only has a
+            # # HELP line) means a corrupted exposition.
+            raise PrometheusFormatError(
+                "line {}: sample {!r} before its # TYPE".format(
+                    lineno, name
                 )
+            )
         labels: Dict[str, str] = {}
         if label_blob:
             body = label_blob[1:-1]

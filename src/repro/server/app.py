@@ -249,8 +249,7 @@ class ControlPlaneServer:
         self._stopping = True
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-        # Wake handlers parked in readline by closing their (idle)
+        # Wake handlers parked in read() by closing their (idle)
         # transports; this loop runs without awaiting, so a handler
         # cannot become busy between the check and the close.  Busy
         # handlers keep their sockets: they finish the request they
@@ -263,6 +262,12 @@ class ControlPlaneServer:
             await asyncio.gather(
                 *tuple(self._client_tasks), return_exceptions=True
             )
+        if self._server is not None:
+            # Only after the handlers are done: on Python >= 3.12.1
+            # wait_closed() blocks until every client connection is
+            # closed, so awaiting it before waking idle handlers would
+            # deadlock the drain on any idle-but-connected client.
+            await self._server.wait_closed()
         await self._mutations.put(_SENTINEL)
         if self._writer_task is not None:
             await self._writer_task
@@ -404,6 +409,16 @@ class ControlPlaneServer:
                     encoded = protocol.encode_response(
                         request.id, False,
                         error_kind=exc.kind, error_message=str(exc),
+                    )
+                except Exception as exc:
+                    # A failing gauge collector or status counter must
+                    # not kill the handler task: the pipelined client
+                    # would wait forever for its remaining responses.
+                    self.stats.internal_errors += 1
+                    encoded = protocol.encode_response(
+                        request.id, False,
+                        error_kind=protocol.ERR_INTERNAL,
+                        error_message=repr(exc),
                     )
                 entries.append((None, None, encoded))
                 continue

@@ -138,6 +138,24 @@ class TestRegistry:
         with pytest.raises(MetricsError):
             registry.gauge("thing", "now a gauge")
 
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "ops", labels=("op",))
+        with pytest.raises(MetricsError):
+            registry.counter("ops_total", "ops", labels=("op", "scheme"))
+        with pytest.raises(MetricsError):
+            registry.counter("ops_total", "ops")
+
+    def test_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("lat", "latency", buckets=(0.5, 5.0))
+        # Same definition still gets-or-creates.
+        assert registry.histogram(
+            "lat", "latency", buckets=(0.1, 1.0)
+        ) is first
+
     def test_unknown_name_rejected(self):
         with pytest.raises(MetricsError):
             MetricsRegistry().get("missing")
@@ -214,6 +232,10 @@ class TestPrometheusRendering:
             parse_prometheus_text("not a metric line !!!")
         with pytest.raises(PrometheusFormatError):
             parse_prometheus_text("orphan_sample 1")
+        # A # HELP line alone does not type the family: a sample
+        # without a preceding # TYPE is rejected even then.
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus_text("# HELP helped jobs\nhelped 1\n")
         with pytest.raises(PrometheusFormatError):
             parse_prometheus_text(
                 "# TYPE h histogram\n"

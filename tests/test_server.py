@@ -207,6 +207,42 @@ class TestServerRoundTrips:
         assert server.stats.protocol_errors == 9
         assert server.stats.internal_errors == 0
 
+    def test_read_op_internal_error_answered_not_fatal(self, tmp_path):
+        # A failing gauge collector must surface as an ERR_INTERNAL
+        # response, not kill the handler task and strand the rest of
+        # the pipelined burst.
+        async def _run():
+            net = mesh_network(4, 4, 10.0)
+            service = DRTPService(net, DLSRScheme())
+            sock = str(tmp_path / "ctl.sock")
+            server = ControlPlaneServer(service, socket_path=sock)
+
+            def explode():
+                raise RuntimeError("collector broke")
+
+            server.metrics.registry.gauge(
+                "broken_gauge", "always raises"
+            ).collect_with(explode)
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(b"".join([
+                encode_request("metrics", request_id=1),
+                encode_request("ping", request_id=2),
+            ]))
+            await writer.drain()
+            first = decode_response((await reader.readline()).decode())
+            second = decode_response((await reader.readline()).decode())
+            writer.close()
+            await server.shutdown()
+            return first, second, server
+
+        (rid1, ok1, body1), (rid2, ok2, pong), server = asyncio.run(_run())
+        assert (rid1, ok1) == (1, False)
+        assert body1["type"] == protocol.ERR_INTERNAL
+        assert (rid2, ok2) == (2, True) and pong["pong"]
+        assert server.stats.internal_errors == 1
+        assert server.stats.protocol_errors == 0
+
     def test_pipelined_burst_preserves_order_and_coalesces(self, tmp_path):
         lines = [
             encode_request(
