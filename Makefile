@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick serve-demo examples clean
+.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick serve-demo examples docs-check clean
 
 install:
 	pip install -e '.[test]'
@@ -32,6 +32,12 @@ serve-demo:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done
+
+# The CI docs job: public-API docstring audit plus resolution of every
+# code reference / relative link in README, EXPERIMENTS and docs/.
+docs-check:
+	python tools/check_docstrings.py
+	python tools/check_doc_links.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks

@@ -27,9 +27,10 @@ Packages: :mod:`repro.topology` (networks and generators),
 :mod:`repro.routing` (the schemes), :mod:`repro.core` (DRTP service),
 :mod:`repro.simulation` (scenario replay), :mod:`repro.analysis`
 (metrics), :mod:`repro.experiments` (the paper's tables/figures),
-:mod:`repro.metrics` (dependency-free operational metrics) and
-:mod:`repro.server` (the online control-plane server + load
-generator).
+:mod:`repro.metrics` (dependency-free operational metrics),
+:mod:`repro.observability` (hierarchical span tracing with Chrome
+trace / NDJSON export) and :mod:`repro.server` (the online
+control-plane server + load generator).
 """
 
 from .topology import (
@@ -95,6 +96,13 @@ from .metrics import (
     MetricsRegistry,
     ServiceMetrics,
     parse_prometheus_text,
+)
+from .observability import (
+    Span,
+    TraceCollector,
+    chrome_trace,
+    write_chrome_trace,
+    write_ndjson,
 )
 from .server import (
     ControlPlaneServer,
@@ -168,6 +176,12 @@ __all__ = [
     "MetricsRegistry",
     "ServiceMetrics",
     "parse_prometheus_text",
+    # observability
+    "Span",
+    "TraceCollector",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_ndjson",
     # online control plane
     "ControlPlaneServer",
     "LoadGenConfig",

@@ -41,6 +41,7 @@ class AcceptanceBreakdown:
 
 
 def acceptance_breakdown(result: SimulationResult) -> AcceptanceBreakdown:
+    """Fold one scheme's replay result into its acceptance counters."""
     return AcceptanceBreakdown(
         scheme=result.scheme,
         requests=result.requests,

@@ -11,6 +11,8 @@ from typing import Any, List, Optional, Sequence
 
 
 def format_cell(value: Any) -> str:
+    """Render one table cell: floats at 4 significant digits,
+    everything else via ``str``."""
     if isinstance(value, float):
         return "{:.4g}".format(value)
     return str(value)

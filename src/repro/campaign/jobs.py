@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.fault_tolerance import FaultToleranceStats
 from ..experiments.config import FIGURE_LAMBDAS, SCALES, ExperimentScale
+from ..observability import TraceCollector
 from ..experiments.sweep import (
     PAPER_SCHEMES,
     CellSpec,
@@ -228,6 +229,8 @@ def _sim_from_dict(data: Dict) -> SimulationResult:
 
 
 def point_to_dict(point: PointResult) -> Dict:
+    """Serialize a :class:`PointResult` for the journal / job payload
+    (inverse of :func:`point_from_dict`)."""
     return {
         "scheme": point.scheme,
         "degree": point.degree,
@@ -246,6 +249,7 @@ def point_to_dict(point: PointResult) -> Dict:
 
 
 def point_from_dict(data: Dict) -> PointResult:
+    """Rebuild a :class:`PointResult` from its journaled dict form."""
     return PointResult(
         scheme=data["scheme"],
         degree=data["degree"],
@@ -263,20 +267,40 @@ def point_from_dict(data: Dict) -> PointResult:
     )
 
 
+#: Per-worker span bound: a cell is one span today, but the bound
+#: keeps future deeper instrumentation from bloating result payloads.
+WORKER_TRACE_MAX_SPANS = 20_000
+
+
 def execute_job(job_data: Dict) -> Dict:
     """Run one shard (worker-process entry point).
 
     Takes and returns plain dicts so the payload crosses the work
     queue, the result queue and the checkpoint journal unchanged.
+    With ``job_data["trace"]`` set the worker collects spans locally
+    and ships them back in the payload (``spans``/``spans_dropped``)
+    for the orchestrator to merge under its own collector.
     """
     job = CellJob.from_dict(job_data)
-    points = run_cell(
-        job.cell_spec,
-        schemes=job.schemes,
-        scale=SCALES[job.scale],
-        master_seed=job.master_seed,
+    trace = (
+        TraceCollector(max_spans=WORKER_TRACE_MAX_SPANS)
+        if job_data.get("trace") else None
     )
-    return {
+    if trace is None:
+        points = _run_cell_for_job(job)
+    else:
+        with trace.span(
+            "campaign.cell",
+            category="campaign",
+            job=job.job_id,
+            degree=job.degree,
+            pattern=job.pattern,
+            lam=job.lam,
+            scale=job.scale,
+        ) as span:
+            points = _run_cell_for_job(job)
+            span.tag(schemes=len(points))
+    payload = {
         "job_id": job.job_id,
         "index": job.index,
         "scenario_seed": job.scenario_seed,
@@ -284,3 +308,17 @@ def execute_job(job_data: Dict) -> Dict:
             name: point_to_dict(points[name]) for name in job.schemes
         },
     }
+    if trace is not None:
+        payload["spans"] = trace.to_dicts()
+        payload["spans_dropped"] = trace.dropped
+    return payload
+
+
+def _run_cell_for_job(job: CellJob) -> Dict[str, PointResult]:
+    """The shard's actual work: one sweep cell at the job's scale."""
+    return run_cell(
+        job.cell_spec,
+        schemes=job.schemes,
+        scale=SCALES[job.scale],
+        master_seed=job.master_seed,
+    )

@@ -77,13 +77,18 @@ def run_campaign_jobs(
     stop_after_cells: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
     prime_caches: bool = False,
+    trace=None,
 ) -> CampaignResult:
     """Run (or resume) a sharded campaign in ``campaign_dir``.
 
     ``spec`` may be None only with ``resume=True`` (it is then loaded
     from the journal header).  ``stop_after_cells`` ends the run after
     that many newly completed cells — the in-process equivalent of an
-    interruption, used by tests and docs.
+    interruption, used by tests and docs.  ``trace`` (a
+    :class:`~repro.observability.TraceCollector`) asks every worker to
+    record per-cell spans, which the orchestrator merges into the
+    collector under the worker's process lane (worker ``n`` shows up
+    as ``pid n+1``, the orchestrator itself as ``pid 0``).
     """
     if jobs < 1:
         raise CampaignError("--jobs must be >= 1")
@@ -181,6 +186,12 @@ def run_campaign_jobs(
         }
 
     def on_result(job_dict, payload, worker, elapsed, attempts) -> None:
+        # Spans travel in the payload but stay out of the journal (a
+        # resume replays results, not timelines) — pop before writing.
+        spans = payload.pop("spans", None)
+        spans_dropped = payload.pop("spans_dropped", 0)
+        if trace is not None and spans:
+            trace.ingest(spans, pid=worker + 1, dropped=spans_dropped)
         journal.append_cell(
             payload, worker=worker, elapsed=elapsed, attempts=attempts
         )
@@ -205,6 +216,9 @@ def run_campaign_jobs(
     job_dicts = [
         dict(job.to_dict(), job_id=job.job_id) for job in todo
     ]
+    if trace is not None:
+        for job_dict in job_dicts:
+            job_dict["trace"] = True
     if jobs == 1:
         _run_inline(
             job_dicts, on_result, events, retry_policy,
@@ -231,9 +245,18 @@ def run_campaign_jobs(
         wall_clock_seconds=wall_clock,
     )
     if complete:
-        points = restore_points(spec, completed)
-        result.points = points
-        result.outputs = write_outputs(directory, spec, points)
+        if trace is None:
+            points = restore_points(spec, completed)
+            result.points = points
+            result.outputs = write_outputs(directory, spec, points)
+        else:
+            with trace.span(
+                "campaign.merge", category="campaign",
+                cells=len(completed),
+            ):
+                points = restore_points(spec, completed)
+                result.points = points
+                result.outputs = write_outputs(directory, spec, points)
         if prime_caches:
             prime_sweep_caches(spec, points)
         manifest = manifest_dict(STATUS_COMPLETE)
@@ -298,6 +321,7 @@ def resume_campaign(
     stop_after_cells: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
     prime_caches: bool = False,
+    trace=None,
 ) -> CampaignResult:
     """Resume the campaign journaled in ``campaign_dir`` (the spec
     comes from the journal header)."""
@@ -310,6 +334,7 @@ def resume_campaign(
         stop_after_cells=stop_after_cells,
         retry_policy=retry_policy,
         prime_caches=prime_caches,
+        trace=trace,
     )
 
 

@@ -6,6 +6,11 @@ Commands:
 * ``scenario`` — generate a Poisson request trace (a scenario file);
 * ``replay``  — replay a scenario against a topology under a scheme,
   printing acceptance, fault tolerance and overhead-relevant stats;
+* ``trace``   — replay a scenario with hierarchical span tracing and
+  export a Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+  or https://ui.perfetto.dev) plus an optional NDJSON stream — the
+  "why was this DR-connection rejected" debugging tool
+  (``docs/tracing.md``);
 * ``assess``  — load a topology, establish random DR-connections, and
   sweep single-link (or node) failures;
 * ``campaign`` — sharded simulation campaigns: ``campaign run``
@@ -75,6 +80,8 @@ def _package_version() -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (one subparser per command;
+    importable so tests can drive parsing without a process)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dependable real-time connection routing (DSN 2001 "
@@ -123,6 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "naive reference service and diffed "
                         "bit-for-bit (slow; fails loudly on any "
                         "fast-path divergence)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a scenario with span tracing; export a Chrome "
+        "trace (chrome://tracing / Perfetto) and optional NDJSON",
+    )
+    trace.add_argument("topology", help="topology JSON from `topology`")
+    trace.add_argument("scenario", help="scenario JSON from `scenario`")
+    trace.add_argument("--scheme", choices=SCHEME_CHOICES, default="D-LSR")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--ndjson", default=None, metavar="PATH",
+                       help="also write the spans as an NDJSON stream")
+    trace.add_argument("--max-spans", type=int, default=200_000,
+                       metavar="N",
+                       help="span ring-buffer bound; oldest spans are "
+                       "evicted and counted once exceeded")
+    trace.add_argument("--warmup", type=float, default=None,
+                       help="seconds before measurement (default: half)")
+    trace.add_argument("--rejections", type=int, default=5, metavar="N",
+                       help="rejected admissions to summarize (0 = none)")
 
     assess = sub.add_parser(
         "assess", help="failure sweep over a randomly loaded network"
@@ -179,12 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="CELLS",
                       help="stop after this many newly completed cells "
                       "(simulates an interruption; resume later)")
+    crun.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="collect per-cell worker spans and write "
+                      "campaign_trace.json/.ndjson into DIR")
 
     cres = csub.add_parser(
         "resume", help="resume an interrupted campaign from its journal"
     )
     cres.add_argument("--dir", required=True, metavar="DIR")
     cres.add_argument("--jobs", type=int, default=1, metavar="N")
+    cres.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="collect per-cell worker spans and write "
+                      "campaign_trace.json/.ndjson into DIR")
 
     cstat = csub.add_parser(
         "status", help="report campaign progress from the manifest"
@@ -252,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--manifest", default=None, metavar="PATH",
                        help="write a final metrics manifest JSON on "
                        "shutdown")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="collect request/batch spans and write "
+                       "server_trace.json/.ndjson into DIR on shutdown")
 
     load = sub.add_parser(
         "loadtest", help="drive a running server with deterministic load"
@@ -390,6 +427,60 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import (
+        TraceCollector,
+        write_chrome_trace,
+        write_ndjson,
+    )
+
+    network = load_network(args.topology)
+    scenario = Scenario.load(args.scenario)
+    scheme = make_scheme(args.scheme)
+    # detail=True: the debugging CLI affords the cost decompositions
+    # (conflict/q_links per backup search) production tracing skips.
+    collector = TraceCollector(max_spans=args.max_spans, detail=True)
+    service = DRTPService(
+        network, scheme,
+        require_backup=args.scheme != "no-backup",
+        trace=collector,
+    )
+    warmup = args.warmup if args.warmup is not None else scenario.duration / 2
+    result = ScenarioSimulator(service, scenario, warmup=warmup).run()
+
+    label = "drtp-{}".format(scheme.name)
+    events = write_chrome_trace(args.out, collector, label=label)
+    counts = collector.counts()
+    rows = [(name, counts[name]) for name in sorted(counts)]
+    rows.append(("spans total", len(collector)))
+    rows.append(("spans dropped", collector.dropped))
+    print(format_table(("span", "count"), rows))
+    print("replayed {} requests, accepted {} (ratio {:.4f})".format(
+        result.requests, result.accepted, result.acceptance_ratio,
+    ))
+    print("wrote {} trace events to {}".format(events, args.out))
+    if args.ndjson:
+        spans = write_ndjson(args.ndjson, collector, label=label)
+        print("wrote {} span records to {}".format(spans, args.ndjson))
+    if args.rejections > 0:
+        rejected = [
+            span for span in collector.spans("service.admit")
+            if span.tags.get("accepted") is False
+        ]
+        if rejected:
+            print("\n{} rejected admission(s); first {}:".format(
+                len(rejected), min(args.rejections, len(rejected)),
+            ))
+            for span in rejected[:args.rejections]:
+                print("  request {} {}->{} bw {}: {}".format(
+                    span.tags.get("request"), span.tags.get("source"),
+                    span.tags.get("destination"), span.tags.get("bw"),
+                    span.tags.get("reason"),
+                ))
+    print("open the trace in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_assess(args: argparse.Namespace) -> int:
     network = load_network(args.topology)
     service = DRTPService(network, make_scheme(args.scheme))
@@ -519,6 +610,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ControlPlaneServer(
             service, metrics,
             manifest_path=args.manifest,
+            trace_dir=args.trace_dir,
             **_endpoint_kwargs(args),
         )
         await server.start()
@@ -544,6 +636,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.manifest:
         print("wrote manifest to {}".format(args.manifest))
+    if args.trace_dir and server.trace is not None:
+        print("wrote {} spans ({} dropped) to {}".format(
+            len(server.trace), server.trace.dropped, args.trace_dir,
+        ))
     return 0
 
 
@@ -716,22 +812,58 @@ def _report_campaign(result) -> int:
     return 0
 
 
+def _campaign_trace(args: argparse.Namespace):
+    """A collector when ``--trace-dir`` was given, else None."""
+    if getattr(args, "trace_dir", None) is None:
+        return None
+    from .observability import TraceCollector
+
+    return TraceCollector()
+
+
+def _write_campaign_trace(trace, args: argparse.Namespace) -> None:
+    if trace is None:
+        return
+    from pathlib import Path
+
+    from .observability import write_chrome_trace, write_ndjson
+
+    directory = Path(args.trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    chrome = directory / "campaign_trace.json"
+    ndjson = directory / "campaign_trace.ndjson"
+    write_chrome_trace(chrome, trace, label="drtp-campaign")
+    write_ndjson(ndjson, trace, label="drtp-campaign")
+    print("wrote {} spans ({} dropped) to {} and {}".format(
+        len(trace), trace.dropped, chrome, ndjson,
+    ))
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .campaign import run_campaign_jobs
 
-    return _report_campaign(run_campaign_jobs(
+    trace = _campaign_trace(args)
+    status = _report_campaign(run_campaign_jobs(
         _campaign_spec(args),
         args.dir,
         jobs=args.jobs,
         resume=args.resume,
         stop_after_cells=args.stop_after,
+        trace=trace,
     ))
+    _write_campaign_trace(trace, args)
+    return status
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from .campaign import resume_campaign
 
-    return _report_campaign(resume_campaign(args.dir, jobs=args.jobs))
+    trace = _campaign_trace(args)
+    status = _report_campaign(
+        resume_campaign(args.dir, jobs=args.jobs, trace=trace)
+    )
+    _write_campaign_trace(trace, args)
+    return status
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -799,6 +931,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: parse ``argv`` (default ``sys.argv[1:]``),
+    dispatch to the subcommand, return the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -811,6 +945,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "assess":
         return _cmd_assess(args)
     if args.command == "chaos":

@@ -84,6 +84,7 @@ class AdmissionController:
         retry_policy=None,
         degrade_on_fault: Optional[bool] = None,
         metrics=None,
+        trace=None,
     ) -> None:
         """``injector``/``retry_policy`` subject backup signaling to
         fault injection with retransmission (see
@@ -93,13 +94,16 @@ class AdmissionController:
         of rejecting it — the decision is flagged ``degraded`` so the
         service can re-establish the backup in the background.
         ``metrics`` (a :class:`~repro.metrics.ServiceMetrics`) receives
-        per-walk signaling accounting when present."""
+        per-walk signaling accounting when present; ``trace`` (a
+        :class:`~repro.observability.TraceCollector`) receives spans
+        for every register/release walk."""
         self._state = state
         self._policy = spare_policy
         self._require_backup = require_backup
         self._injector = injector
         self._retry_policy = retry_policy
         self._metrics = metrics
+        self._trace = trace
         if degrade_on_fault is None:
             degrade_on_fault = injector is not None
         self._degrade_on_fault = degrade_on_fault
@@ -108,6 +112,10 @@ class AdmissionController:
     @property
     def spare_policy(self) -> SparePolicy:
         return self._policy
+
+    def bind_trace(self, trace) -> None:
+        """Attach a span collector after construction."""
+        self._trace = trace
 
     # ------------------------------------------------------------------
     # Establishment
@@ -138,7 +146,7 @@ class AdmissionController:
             registration = register_backup_path(
                 self._state, self._policy, packet,
                 self._injector, self._retry_policy,
-                metrics=self._metrics,
+                metrics=self._metrics, trace=self._trace,
             )
             decision.registrations.append(registration)
             if not registration.success:
@@ -171,7 +179,7 @@ class AdmissionController:
                     outcome = register_backup_path(
                         self._state, self._policy, extra,
                         self._injector, self._retry_policy,
-                        metrics=self._metrics,
+                        metrics=self._metrics, trace=self._trace,
                     )
                     decision.registrations.append(outcome)
                     if outcome.success:
@@ -219,6 +227,7 @@ class AdmissionController:
                     primary_lset=connection.primary_route.lset,
                     backup_index=channel.registration_index,
                 ),
+                trace=self._trace,
             )
         connection.terminate()
 

@@ -20,6 +20,8 @@ from .errors import ConnectionStateError
 
 
 class ChannelRole(enum.Enum):
+    """Which leg of a DR-connection a channel implements."""
+
     PRIMARY = "primary"
     BACKUP = "backup"
 

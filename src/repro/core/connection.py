@@ -42,6 +42,8 @@ class ConnectionRequest:
 
 
 class ConnectionState(enum.Enum):
+    """Lifecycle of a DR-connection (see the per-member comments)."""
+
     ACTIVE = "active"          # primary carrying traffic, backup armed
     UNPROTECTED = "active-unprotected"  # primary up, no (usable) backup
     RECOVERING = "recovering"  # primary failed, switching to backup

@@ -130,6 +130,7 @@ class DRTPService:
         fault_injector=None,
         retry_policy=None,
         metrics=None,
+        trace=None,
     ) -> None:
         """``live_database=False`` routes from periodically-refreshed
         snapshots instead of instantly-converged link state — the
@@ -157,7 +158,13 @@ class DRTPService:
         the service observable: admissions, rejections by reason,
         admission latency, signaling and recovery counters flow into
         its registry.  ``None`` (the default, and what every batch
-        experiment uses) records nothing and costs nothing."""
+        experiment uses) records nothing and costs nothing.
+
+        ``trace`` (a :class:`~repro.observability.TraceCollector`)
+        records hierarchical spans for every admit/release/recover —
+        including the route searches and signaling walks they contain —
+        under the same optional-dependency discipline as ``metrics``:
+        ``None`` records nothing and costs nothing."""
         self.network = network
         self.state = NetworkState(network)
         if database is not None:
@@ -176,6 +183,9 @@ class DRTPService:
         if metrics is not None:
             metrics.bind_service(self)
             scheme.metrics = metrics
+        self.trace = trace
+        if trace is not None:
+            scheme.trace = trace
         self._admission = AdmissionController(
             self.state,
             self.spare_policy,
@@ -183,6 +193,7 @@ class DRTPService:
             injector=fault_injector,
             retry_policy=retry_policy,
             metrics=metrics,
+            trace=trace,
         )
         self._connections: Dict[int, DRConnection] = {}
         self._pending_backup: set = set()
@@ -215,8 +226,36 @@ class DRTPService:
         )
         return self.admit(req)
 
+    def bind_trace(self, trace) -> None:
+        """Attach a span collector after construction (the server does
+        this when it is handed an un-traced service)."""
+        self.trace = trace
+        self.scheme.trace = trace
+        self._admission.bind_trace(trace)
+
     def admit(self, req: ConnectionRequest) -> AdmissionDecision:
         """Admit a pre-built request (the simulator's entry point)."""
+        if self.trace is None:
+            return self._admit(req)
+        with self.trace.span(
+            "service.admit",
+            category="service",
+            scheme=self.scheme.name,
+            request=req.request_id,
+            source=req.source,
+            destination=req.destination,
+            bw=req.bw_req,
+        ) as span:
+            decision = self._admit(req)
+            span.tag(
+                accepted=decision.accepted,
+                reason=decision.reason,
+                degraded=decision.degraded,
+            )
+            return decision
+
+    def _admit(self, req: ConnectionRequest) -> AdmissionDecision:
+        """The admission transaction proper (tracing handled above)."""
         started = perf_counter() if self.metrics is not None else 0.0
         self.counters.requests += 1
         query = RouteQuery(
@@ -225,7 +264,7 @@ class DRTPService:
             req.bw_req,
             max_hops=self._qos_bound(req.source, req.destination),
         )
-        if self.metrics is not None:
+        if self.metrics is not None or self.trace is not None:
             # Instrumented planning path when the scheme provides it
             # (duck-typed test schemes may not inherit RoutingScheme).
             planner = getattr(
@@ -276,6 +315,17 @@ class DRTPService:
 
     def release(self, connection_id: int) -> None:
         """Terminate a connection and return all its resources."""
+        if self.trace is None:
+            return self._release(connection_id)
+        with self.trace.span(
+            "service.release",
+            category="service",
+            scheme=self.scheme.name,
+            connection=connection_id,
+        ):
+            return self._release(connection_id)
+
+    def _release(self, connection_id: int) -> None:
         try:
             connection = self._connections.pop(connection_id)
         except KeyError:
@@ -322,6 +372,19 @@ class DRTPService:
         Returns True when the connection is protected afterwards —
         including "already was" — and False when it remains
         unprotected (caller reschedules) or no longer exists."""
+        if self.trace is None:
+            return self._reestablish_backup(connection_id)
+        with self.trace.span(
+            "service.reestablish",
+            category="service",
+            scheme=self.scheme.name,
+            connection=connection_id,
+        ) as span:
+            restored = self._reestablish_backup(connection_id)
+            span.tag(restored=restored)
+            return restored
+
+    def _reestablish_backup(self, connection_id: int) -> bool:
         conn = self._connections.get(connection_id)
         if conn is None or not conn.is_active:
             self._pending_backup.discard(connection_id)
@@ -352,7 +415,7 @@ class DRTPService:
         registration = register_backup_path(
             self.state, self.spare_policy, packet,
             self.fault_injector, self.retry_policy,
-            metrics=self.metrics,
+            metrics=self.metrics, trace=self.trace,
         )
         self.counters.record_signaling(registration)
         if not registration.success:
@@ -404,6 +467,23 @@ class DRTPService:
         casualties, and (optionally) re-protect unprotected survivors
         via DRTP's resource-reconfiguration step.  The link stays out
         of every route search until :meth:`repair_link`."""
+        if self.trace is None:
+            return self._fail_link(link_id, reconfigure)
+        with self.trace.span(
+            "service.fail_link",
+            category="service",
+            scheme=self.scheme.name,
+            link=link_id,
+        ) as span:
+            impact = self._fail_link(link_id, reconfigure)
+            span.tag(
+                affected=impact.affected,
+                activated=impact.activated,
+                lost=impact.failed,
+            )
+            return impact
+
+    def _fail_link(self, link_id: int, reconfigure: bool) -> FailureImpact:
         self.state.mark_link_failed(link_id)
         impact = apply_link_failure(
             self.state, self.spare_policy, self._connections, link_id
@@ -420,6 +500,23 @@ class DRTPService:
         """Fail a switch for real: every adjacent link dies, transit
         connections recover via surviving backups, connections
         terminating at the node are torn down."""
+        if self.trace is None:
+            return self._fail_node(node, reconfigure)
+        with self.trace.span(
+            "service.fail_node",
+            category="service",
+            scheme=self.scheme.name,
+            node=node,
+        ) as span:
+            impact = self._fail_node(node, reconfigure)
+            span.tag(
+                affected=impact.affected,
+                activated=impact.activated,
+                lost=impact.failed,
+            )
+            return impact
+
+    def _fail_node(self, node: int, reconfigure: bool) -> FailureImpact:
         for link in (
             self.network.out_links(node) + self.network.in_links(node)
         ):

@@ -133,6 +133,7 @@ def register_backup_path(
     injector=None,
     retry_policy=None,
     metrics=None,
+    trace=None,
 ) -> RegistrationResult:
     """Walk the register packet hop by hop; unwind on rejection.
 
@@ -146,13 +147,59 @@ def register_backup_path(
 
     ``metrics`` (a :class:`~repro.metrics.ServiceMetrics`) receives
     the walk's accounting — walks, hops, retries, drops, duplicates,
-    crashes, give-ups — once, after the outcome is final.
+    crashes, give-ups — once, after the outcome is final.  ``trace``
+    (a :class:`~repro.observability.TraceCollector`) records the walk
+    as a ``signal.register`` span with one ``signal.attempt`` child
+    per retransmission under fault injection.
     """
+    if trace is None:
+        return _register(
+            state, policy, packet, injector, retry_policy, metrics
+        )
+    with trace.span(
+        "signal.register",
+        category="signaling",
+        connection=packet.connection_id,
+        backup_index=packet.backup_index,
+        hops=len(packet.backup_route.link_ids),
+    ) as span:
+        result = _register(
+            state, policy, packet, injector, retry_policy, metrics,
+            trace=trace,
+        )
+        span.tag(
+            success=result.success,
+            attempts=result.attempts,
+            hops_signaled=result.hops_signaled,
+            gave_up=result.gave_up,
+        )
+        if result.rejected_link is not None:
+            span.tag(rejected_link=result.rejected_link)
+        if result.drops or result.duplicates or result.crashes:
+            span.tag(
+                drops=result.drops,
+                duplicates=result.duplicates,
+                crashes=result.crashes,
+                delay=result.delay,
+            )
+    return result
+
+
+def _register(
+    state: NetworkState,
+    policy: SparePolicy,
+    packet: BackupRegisterPacket,
+    injector,
+    retry_policy,
+    metrics,
+    trace=None,
+) -> RegistrationResult:
+    """Dispatch to the fault-free or lossy walk; publish metrics."""
     if injector is None:
         result = _register_walk(state, policy, packet)
     else:
         result = _register_with_faults(
-            state, policy, packet, injector, retry_policy
+            state, policy, packet, injector, retry_policy, trace=trace
         )
     if metrics is not None:
         metrics.observe_signaling(result)
@@ -191,6 +238,7 @@ def _register_with_faults(
     packet: BackupRegisterPacket,
     injector,
     retry_policy,
+    trace=None,
 ) -> RegistrationResult:
     """Lossy register walk with retransmission.
 
@@ -205,10 +253,20 @@ def _register_with_faults(
     result.attempts = 0
     while True:
         result.attempts += 1
-        status = _walk_once(state, policy, packet, injector, result)
+        if trace is None:
+            status = _walk_once(state, policy, packet, injector, result)
+        else:
+            with trace.span(
+                "signal.attempt", category="signaling",
+                attempt=result.attempts,
+            ) as span:
+                status = _walk_once(
+                    state, policy, packet, injector, result
+                )
+                span.tag(outcome=status)
         if status != _FAULTED:
             return result
-        unwind_backup_path(state, policy, packet)
+        unwind_backup_path(state, policy, packet, trace=trace)
         if retry_policy is None or retry_policy.gives_up(
             result.attempts, result.delay
         ):
@@ -269,9 +327,18 @@ def release_backup_path(
     state: NetworkState,
     policy: SparePolicy,
     packet: BackupReleasePacket,
+    trace=None,
 ) -> List[ResizeOutcome]:
     """Walk a release packet along the backup route, shrinking spare
     pools as registrations disappear."""
+    if trace is not None:
+        with trace.span(
+            "signal.release", category="signaling",
+            connection=packet.connection_id,
+            backup_index=packet.backup_index,
+            hops=len(packet.backup_route.link_ids),
+        ):
+            return release_backup_path(state, policy, packet)
     outcomes = []
     for link_id in packet.backup_route.link_ids:
         ledger = state.ledger(link_id)
@@ -284,6 +351,7 @@ def unwind_backup_path(
     state: NetworkState,
     policy: SparePolicy,
     packet: BackupRegisterPacket,
+    trace=None,
 ) -> int:
     """Source-initiated idempotent unwind of a (possibly partial) walk.
 
@@ -296,6 +364,15 @@ def unwind_backup_path(
 
     Returns the number of registrations released.
     """
+    if trace is not None:
+        with trace.span(
+            "signal.unwind", category="signaling",
+            connection=packet.connection_id,
+            backup_index=packet.backup_index,
+        ) as span:
+            released = unwind_backup_path(state, policy, packet)
+            span.tag(released=released)
+            return released
     released = 0
     for link_id in packet.backup_route.link_ids:
         ledger = state.ledger(link_id)

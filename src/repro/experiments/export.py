@@ -34,6 +34,8 @@ def panel_rows(
 def write_panel_csv(
     path: Union[str, Path], curves: Curves, lambdas: Sequence[float]
 ) -> None:
+    """Write one figure panel (scheme curves over arrival rates) as
+    CSV, one row per lambda."""
     header, rows = panel_rows(curves, lambdas)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)

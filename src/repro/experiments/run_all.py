@@ -51,6 +51,8 @@ def _print(section: str, body: str) -> None:
 
 
 def main(argv: Sequence[str] = ()) -> None:
+    """Regenerate every table and figure of the paper at the chosen
+    scale, printing each section and optionally exporting CSV."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="quick",

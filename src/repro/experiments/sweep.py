@@ -237,6 +237,8 @@ def run_cell_cached(
     parameters: Optional[Table1Parameters] = None,
     master_seed: int = 7,
 ) -> Dict[str, PointResult]:
+    """:func:`run_cell` behind a per-process cache, so benchmarks and
+    figure builders sharing a cell pay for the simulation once."""
     key = _cell_cache_key(spec, schemes, scale, master_seed)
     if key not in _CELL_CACHE:
         _CELL_CACHE[key] = run_cell(spec, schemes, scale, parameters, master_seed)

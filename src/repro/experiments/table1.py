@@ -18,6 +18,7 @@ from .config import DEFAULT_PARAMETERS, Table1Parameters, make_network
 def table1_rows(
     parameters: Optional[Table1Parameters] = None,
 ) -> List[Tuple[str, str]]:
+    """The configured simulation parameters as ``(name, value)`` rows."""
     params = parameters or DEFAULT_PARAMETERS
     return list(params.rows())
 
@@ -54,6 +55,7 @@ def network_property_rows(
 
 
 def format_table1(parameters: Optional[Table1Parameters] = None) -> str:
+    """Render Table 1 (parameters plus measured network properties)."""
     rows = table1_rows(parameters) + network_property_rows(parameters)
     return format_table(
         ("parameter", "value"),

@@ -135,6 +135,12 @@ class RoutingScheme(abc.ABC):
     #: implementations.
     metrics = None
 
+    #: Optional :class:`~repro.observability.TraceCollector`; set by a
+    #: tracing service.  :meth:`plan_instrumented` wraps the plan in a
+    #: ``route.plan`` span, and scheme implementations that check
+    #: ``self.trace`` add search/flood child spans.
+    trace = None
+
     def __init__(self) -> None:
         self._context: Optional[RoutingContext] = None
 
@@ -157,15 +163,41 @@ class RoutingScheme(abc.ABC):
         """Select primary and backup routes for a new DR-connection."""
 
     def plan_instrumented(self, query: RouteQuery) -> RoutePlan:
-        """Plan with metrics: count the call, time it, and tally the
-        candidate routes considered.  Identical decisions to
-        :meth:`plan` — the instrumentation never touches routing state
-        — and a plain :meth:`plan` call when no metrics are bound."""
-        if self.metrics is None:
+        """Plan with metrics and/or tracing: count the call, time it,
+        and tally the candidate routes considered.  Identical decisions
+        to :meth:`plan` — the instrumentation never touches routing
+        state — and a plain :meth:`plan` call when neither metrics nor
+        a trace collector is bound."""
+        if self.metrics is None and self.trace is None:
             return self.plan(query)
-        started = perf_counter()
-        plan = self.plan(query)
-        self.metrics.observe_plan(self.name, plan, perf_counter() - started)
+        if self.trace is None:
+            started = perf_counter()
+            plan = self.plan(query)
+            self.metrics.observe_plan(
+                self.name, plan, perf_counter() - started
+            )
+            return plan
+        with self.trace.span(
+            "route.plan",
+            category="routing",
+            scheme=self.name,
+            source=query.source,
+            destination=query.destination,
+        ) as span:
+            started = perf_counter()
+            plan = self.plan(query)
+            if self.metrics is not None:
+                self.metrics.observe_plan(
+                    self.name, plan, perf_counter() - started
+                )
+            span.tag(
+                accepted=plan.accepted,
+                backup_found=plan.backup is not None,
+                control_messages=plan.control_messages,
+                candidates=plan.candidates_considered,
+            )
+            if plan.note:
+                span.tag(note=plan.note)
         return plan
 
     def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:

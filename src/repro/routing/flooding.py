@@ -114,11 +114,19 @@ class CRTEntry:
 
 @dataclass
 class FloodResult:
-    """Everything a flood produced, for selection and accounting."""
+    """Everything a flood produced, for selection and accounting.
+
+    ``deliveries`` counts dequeued CDP copies and ``hc_limit`` records
+    the flood bound actually used (0 when the destination was
+    unreachable and no flood ran) — both feed the ``route.flood``
+    trace span.
+    """
 
     candidates: List[CRTEntry] = field(default_factory=list)
     cdp_transmissions: int = 0
     nodes_reached: int = 0
+    deliveries: int = 0
+    hc_limit: int = 0
 
 
 class BoundedFloodingScheme(RoutingScheme):
@@ -151,6 +159,26 @@ class BoundedFloodingScheme(RoutingScheme):
     # ------------------------------------------------------------------
     def flood(self, query: RouteQuery, conn_id: int = 0) -> FloodResult:
         """Run one CDP flood and collect the destination's CRT."""
+        if self.trace is None:
+            return self._flood(query, conn_id)
+        with self.trace.span(
+            "route.flood",
+            category="routing",
+            source=query.source,
+            destination=query.destination,
+        ) as span:
+            result = self._flood(query, conn_id)
+            span.tag(
+                hc_limit=result.hc_limit,
+                cdp_transmissions=result.cdp_transmissions,
+                deliveries=result.deliveries,
+                nodes_reached=result.nodes_reached,
+                candidates=len(result.candidates),
+            )
+        return result
+
+    def _flood(self, query: RouteQuery, conn_id: int) -> FloodResult:
+        """The untraced flood (the pre-tracing instruction stream)."""
         ctx = self.context
         network = ctx.network
         database = ctx.database
@@ -165,6 +193,7 @@ class BoundedFloodingScheme(RoutingScheme):
             # The delay-QoS bound tightens the flood region: no route
             # longer than max_hops is usable, so none is discovered.
             hc_limit = min(hc_limit, query.max_hops)
+        result.hc_limit = hc_limit
         timeout = self.average_link_delay * hc_limit
 
         pct: Dict[int, PendingEntry] = {}
@@ -211,6 +240,7 @@ class BoundedFloodingScheme(RoutingScheme):
             self._forward_from(node, packet, queue, result)
 
         result.nodes_reached = len(reached)
+        result.deliveries = deliveries
         return result
 
     def _pct_for(
@@ -378,9 +408,23 @@ class BoundedFloodingScheme(RoutingScheme):
 
     def plan(self, query: RouteQuery) -> RoutePlan:
         result = self.flood(query)
-        primary, backups = self.select_routes_multi(
-            result.candidates, self.num_backups
-        )
+        if self.trace is None:
+            primary, backups = self.select_routes_multi(
+                result.candidates, self.num_backups
+            )
+        else:
+            with self.trace.span(
+                "route.select",
+                category="routing",
+                candidates=len(result.candidates),
+            ) as span:
+                primary, backups = self.select_routes_multi(
+                    result.candidates, self.num_backups
+                )
+                span.tag(
+                    primary_found=primary is not None,
+                    backups=len(backups),
+                )
         plan = RoutePlan(
             primary=primary,
             backup=backups[0] if backups else None,

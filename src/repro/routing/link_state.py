@@ -20,7 +20,7 @@ from typing import FrozenSet, List, Optional
 
 from ..topology.graph import Route
 from .base import RoutePlan, RouteQuery, RoutingScheme
-from .costs import primary_link_cost
+from .costs import Q_PENALTY, primary_link_cost
 from .dijkstra import LinkCost
 
 
@@ -36,6 +36,59 @@ def _search(scheme: RoutingScheme, query: RouteQuery, cost: LinkCost):
     return scheme.search_bounded(
         network, query.source, query.destination, cost, query.max_hops
     )
+
+
+def _cost_breakdown(scheme: RoutingScheme, cost: LinkCost, route: Route):
+    """Decompose a chosen route's cost: total of the first (conflict)
+    component, the summed conflict with ``Q`` penalties subtracted out,
+    and how many links were ``Q``-charged.  Pure re-evaluation of the
+    cost closure — never touches routing state."""
+    network = scheme.context.network
+    total = 0.0
+    q_links = 0
+    for link_id in route.link_ids:
+        value = cost(network.link(link_id))
+        if value is None:
+            continue
+        total += value[0]
+        if value[0] >= Q_PENALTY:
+            q_links += 1
+    return total, total - q_links * Q_PENALTY, q_links
+
+
+def _traced_search(
+    scheme: RoutingScheme,
+    query: RouteQuery,
+    cost: LinkCost,
+    name: str,
+    detail: bool = False,
+    **tags,
+):
+    """:func:`_search` wrapped in a routing span when the scheme has a
+    trace collector bound; ``detail`` adds the conflict-cost breakdown
+    of the chosen route (the backup-search evaluation the walkthrough
+    in ``EXPERIMENTS.md`` reads) when the collector opted into
+    detail-level tags — the breakdown re-evaluates the conflict cost
+    per route link, which a production collector must not pay for."""
+    trace = scheme.trace
+    if trace is None:
+        return _search(scheme, query, cost)
+    with trace.span(name, category="routing", **tags) as span:
+        route = _search(scheme, query, cost)
+        if route is None:
+            span.tag(found=False)
+        else:
+            span.tag(found=True, hops=len(route.link_ids))
+            if detail and trace.detail:
+                total, conflict, q_links = _cost_breakdown(
+                    scheme, cost, route
+                )
+                span.tag(
+                    cost=round(total, 6),
+                    conflict=round(conflict, 6),
+                    q_links=q_links,
+                )
+    return route
 
 
 class LinkStateScheme(RoutingScheme):
@@ -67,8 +120,9 @@ class LinkStateScheme(RoutingScheme):
     # ------------------------------------------------------------------
     def plan(self, query: RouteQuery) -> RoutePlan:
         ctx = self.context
-        primary = _search(
-            self, query, primary_link_cost(ctx.database, query.bw_req)
+        primary = _traced_search(
+            self, query, primary_link_cost(ctx.database, query.bw_req),
+            "route.primary_search",
         )
         if primary is None:
             return RoutePlan(note="no bandwidth-feasible primary within QoS")
@@ -84,23 +138,29 @@ class LinkStateScheme(RoutingScheme):
     def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:
         """Single-backup search against an established primary (the
         reconfiguration entry point)."""
-        return _search(
+        return _traced_search(
             self,
             query,
             self.backup_cost(query.bw_req, primary.lset, primary.lset),
+            "route.backup_search",
+            detail=True,
+            reconfigure=True,
         )
 
     def _plan_backups(self, query: RouteQuery, primary: Route) -> List[Route]:
         backups: List[Route] = []
         avoid = set(primary.lset)
         seen = {primary.lset}
-        for _ in range(self.num_backups):
-            route = _search(
+        for index in range(self.num_backups):
+            route = _traced_search(
                 self,
                 query,
                 self.backup_cost(
                     query.bw_req, primary.lset, frozenset(avoid)
                 ),
+                "route.backup_search",
+                detail=True,
+                backup_index=index,
             )
             if route is None or route.lset in seen:
                 break

@@ -46,6 +46,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..core.errors import ConnectionStateError
 from ..metrics import ServiceMetrics
+from ..observability import TraceCollector, write_chrome_trace, write_ndjson
 from . import protocol
 from .protocol import ProtocolError, Request
 
@@ -114,6 +115,8 @@ class ControlPlaneServer:
         host: Optional[str] = None,
         port: int = 0,
         manifest_path: Optional[str] = None,
+        trace: Optional[TraceCollector] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if (socket_path is None) == (host is None):
             raise ValueError(
@@ -125,6 +128,19 @@ class ControlPlaneServer:
             # The service was built un-instrumented; bind the collected
             # gauges at least, so status/metrics read something real.
             self.metrics.bind_service(service)
+        if trace is None and trace_dir is not None:
+            # Bounded by default: a long-lived server must not grow its
+            # trace without limit (evictions are counted, not silent).
+            trace = TraceCollector(max_spans=100_000)
+        self.trace = trace
+        self.trace_dir = trace_dir
+        if trace is not None and getattr(service, "trace", None) is None:
+            binder = getattr(service, "bind_trace", None)
+            if binder is not None:
+                # Thread the collector through the whole service stack
+                # (routing scheme, admission, signaling) so server op
+                # spans nest the core's spans under them.
+                binder(trace)
         self.socket_path = socket_path
         self.host = host
         self.port = port
@@ -277,6 +293,8 @@ class ControlPlaneServer:
                 Path(self.socket_path).unlink()
             except OSError:
                 pass
+        if self.trace is not None and self.trace_dir is not None:
+            self.write_trace(self.trace_dir)
         if self.manifest_path is not None:
             self.write_manifest(self.manifest_path)
         self._finished.set()
@@ -309,6 +327,20 @@ class ControlPlaneServer:
             },
             "metrics": self.metrics.registry.snapshot(),
         }
+
+    def write_trace(self, directory: str) -> Dict[str, str]:
+        """Export the collected spans into ``directory`` as both a
+        Perfetto-loadable Chrome trace and an NDJSON stream; returns
+        the paths written (empty when no collector is bound)."""
+        if self.trace is None:
+            return {}
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        chrome = target / "server_trace.json"
+        ndjson = target / "server_trace.ndjson"
+        write_chrome_trace(chrome, self.trace, label="drtp-server")
+        write_ndjson(ndjson, self.trace, label="drtp-server")
+        return {"chrome": str(chrome), "ndjson": str(ndjson)}
 
     def write_manifest(self, path: str) -> None:
         """Atomic write so a reader never sees a torn manifest."""
@@ -367,10 +399,28 @@ class ControlPlaneServer:
     async def _dispatch_batch(self, lines) -> bytes:
         """Decode and answer one pipelined burst, in order.
 
-        Mutations are enqueued up front so the writer task drains them
-        as one batch; read ops wait for the connection's own pending
-        mutations first, preserving per-connection program order."""
-        entries = []  # (request, future, pre-encoded response) triples
+        With a trace collector bound the burst becomes a
+        ``server.batch`` span; each handler task carries its own
+        contextvar copy, so concurrently dispatched batches keep their
+        span trees separate."""
+        if self.trace is None:
+            return await self._run_batch(lines)
+        with self.trace.span(
+            "server.batch", category="server", lines=len(lines)
+        ) as span:
+            payload = await self._run_batch(lines)
+            span.tag(response_bytes=len(payload))
+        return payload
+
+    async def _run_batch(self, lines) -> bytes:
+        """Mutations are enqueued up front so the writer task drains
+        them as one batch; read ops wait for the connection's own
+        pending mutations first, preserving per-connection program
+        order.  Each op carries a two-phase ``server.op`` span from
+        enqueue to response; the writer parents its ``server.apply``
+        span to it across the task boundary."""
+        trace = self.trace
+        entries = []  # (request, future, op span, pre-encoded response)
         pending_last = None
         for raw in lines:
             raw = raw.strip()
@@ -383,13 +433,22 @@ class ControlPlaneServer:
             except ProtocolError as exc:
                 self.stats.protocol_errors += 1
                 self._m_protocol_errors.inc()
-                entries.append((None, None, protocol.encode_response(
+                entries.append((None, None, None, protocol.encode_response(
                     exc.request_id, False,
                     error_kind=exc.kind, error_message=str(exc),
                 )))
                 continue
             self.stats.record_op(request.op)
             self._m_requests.inc(1, request.op)
+            op_span = None
+            if trace is not None:
+                # Two-phase: started here, finished when the response
+                # is known — for mutations that is after the writer
+                # task resolved the future.  The label name ``op``
+                # matches the drtp_server_requests_total{op=} metric.
+                op_span = trace.span(
+                    "server.op", category="server", op=request.op
+                ).start_now()
             if request.op in protocol.READ_OPS:
                 if pending_last is not None:
                     # FIFO writer: once the connection's most recent
@@ -398,12 +457,14 @@ class ControlPlaneServer:
                         await pending_last
                     except Exception:
                         pass  # reported via its own response below
+                ok = True
                 try:
                     result = self._apply_read(request)
                     encoded = protocol.encode_response(
                         request.id, True, result
                     )
                 except ProtocolError as exc:
+                    ok = False
                     self.stats.protocol_errors += 1
                     self._m_protocol_errors.inc()
                     encoded = protocol.encode_response(
@@ -414,29 +475,34 @@ class ControlPlaneServer:
                     # A failing gauge collector or status counter must
                     # not kill the handler task: the pipelined client
                     # would wait forever for its remaining responses.
+                    ok = False
                     self.stats.internal_errors += 1
                     encoded = protocol.encode_response(
                         request.id, False,
                         error_kind=protocol.ERR_INTERNAL,
                         error_message=repr(exc),
                     )
-                entries.append((None, None, encoded))
+                if op_span is not None:
+                    op_span.finish(ok=ok)
+                entries.append((None, None, None, encoded))
                 continue
             future = self._loop.create_future()
             pending_last = future
-            await self._mutations.put((request, future))
-            entries.append((request, future, None))
+            await self._mutations.put((request, future, op_span))
+            entries.append((request, future, op_span, None))
         out = []
-        for request, future, encoded in entries:
+        for request, future, op_span, encoded in entries:
             if encoded is not None:
                 out.append(encoded)
                 continue
+            ok = True
             try:
                 result = await future
                 out.append(protocol.encode_response(
                     request.id, True, result
                 ))
             except ProtocolError as exc:
+                ok = False
                 self.stats.protocol_errors += 1
                 self._m_protocol_errors.inc()
                 out.append(protocol.encode_response(
@@ -444,12 +510,15 @@ class ControlPlaneServer:
                     error_kind=exc.kind, error_message=str(exc),
                 ))
             except Exception as exc:  # pragma: no cover - defensive
+                ok = False
                 self.stats.internal_errors += 1
                 out.append(protocol.encode_response(
                     request.id, False,
                     error_kind=protocol.ERR_INTERNAL,
                     error_message=repr(exc),
                 ))
+            if op_span is not None:
+                op_span.finish(ok=ok)
         return b"".join(out)
 
     # ------------------------------------------------------------------
@@ -470,11 +539,23 @@ class ControlPlaneServer:
                 batch.append(extra)
             self.stats.batches += 1
             self._coalesced_refresh(batch)
-            for request, future in batch:
+            for request, future, op_span in batch:
                 if future.cancelled():  # pragma: no cover - defensive
                     continue
                 try:
-                    future.set_result(self._apply_mutation(request))
+                    if op_span is None:
+                        future.set_result(self._apply_mutation(request))
+                    else:
+                        # Explicit parent: this span lives on the
+                        # writer task but belongs to the handler's
+                        # server.op — the core's service.* spans then
+                        # nest under it via the writer's contextvars.
+                        with self.trace.span(
+                            "server.apply", category="server",
+                            parent=op_span, op=request.op,
+                        ):
+                            result = self._apply_mutation(request)
+                        future.set_result(result)
                 except ProtocolError as exc:
                     future.set_exception(exc)
                 except Exception as exc:  # pragma: no cover - defensive
@@ -490,7 +571,7 @@ class ControlPlaneServer:
         instead of once per admission."""
         if self.service.database.live:
             return
-        admits = sum(1 for request, _ in batch if request.op == "admit")
+        admits = sum(1 for request, _, _ in batch if request.op == "admit")
         if admits == 0:
             return
         self.service.refresh_database()

@@ -328,6 +328,11 @@ class LoadGenerator:
                     inflight.release()
             finally:
                 reader_done.set()
+                # The generator may be parked in inflight.acquire()
+                # with the window full; a server that went away will
+                # never answer, so hand over one permit to let it wake
+                # up, observe reader_done, and stop generating.
+                inflight.release()
 
         # Encode the whole timeline before the clock starts so the
         # replay loop spends its (shared, single) core on the server's
@@ -348,6 +353,8 @@ class LoadGenerator:
                     if delay > 0:
                         await asyncio.sleep(delay)
                 await inflight.acquire()
+                if reader_done.is_set():
+                    break  # woken by the reader's EOF, not a response
                 pending[seq] = event
                 report.events += 1
                 writer.write(wire[seq])

@@ -137,6 +137,8 @@ def encode_response(request_id: Any, ok: bool,
                     result: Optional[Dict[str, Any]] = None,
                     error_kind: Optional[str] = None,
                     error_message: Optional[str] = None) -> bytes:
+    """Encode one response line: ``{"id", "ok"}`` plus either a
+    ``result`` object or an ``error`` envelope, newline-terminated."""
     payload: Dict[str, Any] = {"id": request_id, "ok": ok}
     if ok:
         payload["result"] = result if result is not None else {}
@@ -163,6 +165,8 @@ def decode_response(line: str) -> Tuple[Any, bool, Dict[str, Any]]:
 # Argument validation helpers (shared by the server's handlers)
 # ----------------------------------------------------------------------
 def require_int(args: Dict[str, Any], key: str, request_id: Any) -> int:
+    """Extract an integer argument, raising ``bad_request`` when it is
+    missing or not an int (bools are rejected, not coerced)."""
     value = args.get(key)
     if isinstance(value, bool) or not isinstance(value, int):
         raise ProtocolError(
@@ -174,6 +178,8 @@ def require_int(args: Dict[str, Any], key: str, request_id: Any) -> int:
 
 
 def require_number(args: Dict[str, Any], key: str, request_id: Any) -> float:
+    """Extract a numeric argument as ``float``, raising ``bad_request``
+    when it is missing or not an int/float (bools are rejected)."""
     value = args.get(key)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(

@@ -1,0 +1,563 @@
+"""Tests for the span-tracing layer (``repro.observability``).
+
+Covers span nesting and parent links (sync and under concurrent
+asyncio tasks), ring-buffer drop counting, the Chrome ``trace_event``
+exporter and its schema validator (including a golden fixture built
+with an injected fake clock), the NDJSON round trip, cross-process
+span ingestion, the span tree a traced admission produces, the traced
+control-plane server (concurrent batches must not interleave
+parents), and the ``repro trace`` CLI end to end.
+"""
+
+import asyncio
+import contextvars
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import DRTPService
+from repro.observability import (
+    TraceCollector,
+    TraceFormatError,
+    chrome_trace,
+    read_ndjson,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_ndjson,
+)
+from repro.routing import DLSRScheme, PLSRScheme
+from repro.server import ControlPlaneServer, decode_response, encode_request
+from repro.topology import mesh_network
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace_sample.json"
+
+
+class FakeClock:
+    """Deterministic monotonic clock: every reading advances 1 ms."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.001
+        return self.now
+
+
+def build_golden_collector():
+    """The deterministic span tree behind the golden fixture."""
+    collector = TraceCollector(clock=FakeClock())
+    with collector.span("service.admit", category="service", request=1):
+        with collector.span("route.plan", category="routing",
+                            scheme="D-LSR"):
+            with collector.span("route.primary_search",
+                                category="routing"):
+                pass
+            with collector.span("route.backup_search", category="routing",
+                                backup_index=0) as search:
+                search.tag(found=True, q_links=0)
+        with collector.span("signal.register", category="signaling",
+                            hops=3) as walk:
+            walk.tag(success=True)
+    with collector.span("service.release", category="service",
+                        connection=0):
+        pass
+    return collector
+
+
+# ----------------------------------------------------------------------
+# Span mechanics
+# ----------------------------------------------------------------------
+class TestSpanNesting:
+    def test_sync_nesting_assigns_parents(self):
+        collector = TraceCollector()
+        with collector.span("outer") as outer:
+            assert collector.current() is outer
+            with collector.span("inner") as inner:
+                assert collector.current() is inner
+                assert inner.parent_id == outer.span_id
+            assert collector.current() is outer
+        assert collector.current() is None
+        # Completion order: children finish (and record) first.
+        assert [span.name for span in collector] == ["inner", "outer"]
+        assert outer.parent_id is None
+        assert inner.tid == outer.tid  # children inherit the lane
+
+    def test_durations_are_monotonic_and_contained(self):
+        collector = TraceCollector(clock=FakeClock())
+        with collector.span("outer") as outer:
+            with collector.span("inner") as inner:
+                pass
+        assert inner.start >= outer.start
+        assert inner.duration < outer.duration
+        assert outer.duration > 0
+
+    def test_exception_marks_error_status(self):
+        collector = TraceCollector()
+        with pytest.raises(ValueError):
+            with collector.span("explodes"):
+                raise ValueError("boom")
+        (span,) = collector.spans("explodes")
+        assert span.status == "error"
+        assert span.tags["error"] == "ValueError"
+
+    def test_two_phase_span_keeps_creation_time_parent(self):
+        collector = TraceCollector()
+        with collector.span("batch") as batch:
+            op = collector.span("op", op="admit").start_now()
+            # Not the context's current span: two-phase spans never
+            # capture children.
+            assert collector.current() is batch
+        op.finish(ok=True)
+        assert op.parent_id == batch.span_id
+        assert op.tags == {"op": "admit", "ok": True}
+
+    def test_explicit_parent_overrides_context(self):
+        collector = TraceCollector()
+        with collector.span("handler") as handler:
+            pass
+        with collector.span("writer"):
+            with collector.span("apply", parent=handler) as apply:
+                pass
+        assert apply.parent_id == handler.span_id
+        assert apply.tid == handler.tid
+
+    def test_separate_contexts_get_separate_lanes(self):
+        collector = TraceCollector()
+
+        def one_root():
+            with collector.span("root"):
+                pass
+
+        contextvars.copy_context().run(one_root)
+        contextvars.copy_context().run(one_root)
+        lanes = {span.tid for span in collector.spans("root")}
+        assert len(lanes) == 2
+
+    def test_counts_histogram(self):
+        collector = TraceCollector()
+        for _ in range(3):
+            with collector.span("a"):
+                pass
+        with collector.span("b"):
+            pass
+        assert collector.counts() == {"a": 3, "b": 1}
+
+
+class TestDropCounting:
+    def test_ring_buffer_keeps_newest_and_counts_drops(self):
+        collector = TraceCollector(max_spans=3)
+        for index in range(7):
+            with collector.span("span-{}".format(index)):
+                pass
+        assert len(collector) == 3
+        assert collector.dropped == 4
+        assert [span.name for span in collector] == [
+            "span-4", "span-5", "span-6",
+        ]
+
+    def test_unbounded_never_drops(self):
+        collector = TraceCollector()
+        for _ in range(100):
+            with collector.span("s"):
+                pass
+        assert len(collector) == 100
+        assert collector.dropped == 0
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_spans=0)
+
+
+class TestAsyncioIsolation:
+    def test_concurrent_tasks_do_not_interleave_parents(self):
+        collector = TraceCollector()
+
+        async def worker(name, steps):
+            with collector.span("task", worker=name) as root:
+                for step in range(steps):
+                    with collector.span("step", index=step) as span:
+                        # Yield mid-span so the other task interleaves.
+                        await asyncio.sleep(0)
+                        assert collector.current() is span
+                    assert collector.current() is root
+            return root
+
+        async def run():
+            return await asyncio.gather(
+                worker("a", 4), worker("b", 4)
+            )
+
+        root_a, root_b = asyncio.run(run())
+        assert root_a.tid != root_b.tid  # one Chrome lane per task
+        for root in (root_a, root_b):
+            steps = [
+                span for span in collector.spans("step")
+                if span.parent_id == root.span_id
+            ]
+            assert [span.tags["index"] for span in steps] == [0, 1, 2, 3]
+            assert all(span.tid == root.tid for span in steps)
+
+
+# ----------------------------------------------------------------------
+# Export formats
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def test_collector_exports_valid_trace(self):
+        collector = build_golden_collector()
+        payload = chrome_trace(collector, label="sample")
+        count = validate_chrome_trace(payload)
+        # One metadata event (single pid) plus one X event per span.
+        assert count == len(collector) + 1
+        phases = [event["ph"] for event in payload["traceEvents"]]
+        assert phases.count("M") == 1
+        assert phases.count("X") == len(collector)
+        assert payload["otherData"]["dropped_spans"] == 0
+
+    def test_dropped_count_rides_in_other_data(self):
+        collector = TraceCollector(max_spans=1)
+        for _ in range(3):
+            with collector.span("s"):
+                pass
+        payload = chrome_trace(collector)
+        assert payload["otherData"]["dropped_spans"] == 2
+
+    def test_non_json_tags_are_coerced(self):
+        collector = TraceCollector()
+        with collector.span("s", lset=frozenset({3, 1, 2}),
+                            route=(4, 5)):
+            pass
+        payload = chrome_trace(collector)
+        validate_chrome_trace(payload)
+        args = payload["traceEvents"][-1]["args"]
+        assert args["lset"] == [1, 2, 3]
+        assert args["route"] == [4, 5]
+
+    def test_validator_accepts_bare_array_form(self):
+        assert validate_chrome_trace([
+            {"ph": "X", "name": "op", "ts": 0, "dur": 1,
+             "pid": 0, "tid": 0},
+        ]) == 1
+
+    @pytest.mark.parametrize("payload, message", [
+        (42, "trace must be"),
+        ({"events": []}, "traceEvents"),
+        ([{"ph": "Z", "name": "op", "pid": 0, "tid": 0}], "unknown phase"),
+        ([{"ph": "X", "name": "", "pid": 0, "tid": 0,
+           "ts": 0, "dur": 0}], "name"),
+        ([{"ph": "X", "name": "op", "pid": "zero", "tid": 0,
+           "ts": 0, "dur": 0}], "integer"),
+        ([{"ph": "X", "name": "op", "pid": 0, "tid": 0,
+           "ts": -1, "dur": 0}], "non-negative"),
+        ([{"ph": "X", "name": "op", "pid": 0, "tid": 0,
+           "ts": 0}], "'dur'"),
+        ([{"ph": "X", "name": "op", "pid": 0, "tid": 0, "ts": 0,
+           "dur": 0, "args": "nope"}], "args"),
+    ])
+    def test_validator_rejects_schema_violations(self, payload, message):
+        with pytest.raises(TraceFormatError) as exc:
+            validate_chrome_trace(payload)
+        assert message in str(exc.value)
+
+    def test_validator_rejects_unserializable_args(self):
+        with pytest.raises(TraceFormatError) as exc:
+            validate_chrome_trace([
+                {"ph": "X", "name": "op", "pid": 0, "tid": 0,
+                 "ts": 0, "dur": 0, "args": {"bad": object()}},
+            ])
+        assert "serializable" in str(exc.value)
+
+    def test_golden_fixture_round_trip(self):
+        """The deterministic fake-clock trace must match the committed
+        fixture byte for byte (after canonical JSON formatting)."""
+        payload = chrome_trace(build_golden_collector(), label="golden")
+        validate_chrome_trace(payload)
+        expected = json.loads(GOLDEN.read_text())
+        assert payload == expected
+
+    def test_write_chrome_trace_validates_then_writes(self, tmp_path):
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(out, build_golden_collector())
+        assert count == validate_chrome_trace(
+            json.loads(out.read_text())
+        )
+
+
+class TestNdjson:
+    def test_round_trip(self, tmp_path):
+        collector = build_golden_collector()
+        out = tmp_path / "trace.ndjson"
+        written = write_ndjson(out, collector, label="sample")
+        assert written == len(collector)
+        meta, spans = read_ndjson(out)
+        assert meta["version"] == 1
+        assert meta["label"] == "sample"
+        assert meta["spans"] == len(spans) == len(collector)
+        assert meta["dropped"] == 0
+        by_id = {record["span_id"]: record for record in spans}
+        for span in collector:
+            record = by_id[span.span_id]
+            assert record["name"] == span.name
+            assert record["parent_id"] == span.parent_id
+            assert record["start"] == span.start
+
+    def test_ingested_ndjson_rebuilds_the_tree(self, tmp_path):
+        worker = build_golden_collector()
+        out = tmp_path / "worker.ndjson"
+        write_ndjson(out, worker)
+        meta, spans = read_ndjson(out)
+        merged = TraceCollector()
+        with merged.span("local"):
+            pass
+        assert merged.ingest(spans, pid=2,
+                             dropped=meta["dropped"]) == len(spans)
+        admit = merged.spans("service.admit")[0]
+        plans = merged.spans("route.plan")
+        assert plans[0].parent_id == admit.span_id
+        assert admit.pid == 2
+        assert merged.spans("local")[0].pid == 0
+        # Remapped ids never collide with local ones.
+        ids = [span.span_id for span in merged]
+        assert len(ids) == len(set(ids))
+
+
+class TestIngest:
+    def test_missing_parent_becomes_root(self):
+        collector = TraceCollector()
+        count = collector.ingest(
+            [{"span_id": 40, "parent_id": 39, "name": "orphan",
+              "start": 1.0, "duration": 0.5, "tid": 3}],
+            pid=1, dropped=7,
+        )
+        assert count == 1
+        (span,) = collector.spans("orphan")
+        assert span.parent_id is None  # parent 39 fell out of the ring
+        assert span.pid == 1
+        assert span.tid == 3
+        assert collector.dropped == 7
+
+
+# ----------------------------------------------------------------------
+# The traced service: one admission's span tree
+# ----------------------------------------------------------------------
+class TestServiceSpanTree:
+    def make_service(self, detail=True, **kwargs):
+        collector = TraceCollector(detail=detail)
+        network = mesh_network(4, 4, 10.0)
+        service = DRTPService(
+            network, DLSRScheme(), trace=collector, **kwargs
+        )
+        return service, collector
+
+    def test_admission_produces_nested_tree(self):
+        service, collector = self.make_service()
+        decision = service.request(source=0, destination=15, bw_req=1.0)
+        assert decision.accepted
+        (admit,) = collector.spans("service.admit")
+        assert admit.parent_id is None
+        assert admit.tags["accepted"] is True
+        (plan,) = collector.spans("route.plan")
+        assert plan.parent_id == admit.span_id
+        assert plan.tags["accepted"] is True
+        (primary,) = collector.spans("route.primary_search")
+        assert primary.parent_id == plan.span_id
+        assert primary.tags["found"] is True
+        backups = collector.spans("route.backup_search")
+        assert backups and all(
+            span.parent_id == plan.span_id for span in backups
+        )
+        found = [span for span in backups if span.tags["found"]]
+        assert found
+        # detail=True searches carry the cost decomposition the
+        # EXPERIMENTS.md walkthrough reads.
+        for span in found:
+            assert span.tags["q_links"] >= 0
+            assert span.tags["cost"] >= span.tags["conflict"]
+        (register,) = collector.spans("signal.register")
+        assert register.parent_id == admit.span_id
+        assert register.tags["success"] is True
+
+    def test_detail_off_skips_cost_decomposition(self):
+        service, collector = self.make_service(detail=False)
+        assert service.request(
+            source=0, destination=15, bw_req=1.0
+        ).accepted
+        found = [
+            span for span in collector.spans("route.backup_search")
+            if span.tags["found"]
+        ]
+        assert found
+        # The production-shape collector still gets the span tree but
+        # never pays for the per-route conflict re-evaluation.
+        for span in found:
+            assert "cost" not in span.tags
+            assert "q_links" not in span.tags
+
+    def test_rejection_tags_the_reason(self):
+        service, collector = self.make_service()
+        decision = service.request(source=0, destination=15, bw_req=99.0)
+        assert not decision.accepted
+        (admit,) = collector.spans("service.admit")
+        assert admit.tags["accepted"] is False
+        assert admit.tags["reason"]
+
+    def test_release_and_failure_are_spanned(self):
+        service, collector = self.make_service()
+        decision = service.request(source=0, destination=15, bw_req=1.0)
+        connection = decision.connection
+        service.fail_link(connection.primary_route.link_ids[0])
+        service.release(connection.connection_id)
+        assert collector.spans("service.fail_link")
+        assert collector.spans("service.release")
+        releases = collector.spans("signal.release")
+        assert releases
+
+
+# ----------------------------------------------------------------------
+# The traced server: concurrent batches keep separate trees
+# ----------------------------------------------------------------------
+class TestTracedServer:
+    def run_two_clients(self, tmp_path, trace_dir=None):
+        collector = TraceCollector()
+
+        async def _run():
+            network = mesh_network(4, 4, 10.0)
+            service = DRTPService(network, PLSRScheme())
+            sock = str(tmp_path / "traced.sock")
+            server = ControlPlaneServer(
+                service, socket_path=sock, trace=collector,
+                trace_dir=trace_dir,
+            )
+            await server.start()
+
+            async def client(offset, count):
+                reader, writer = await asyncio.open_unix_connection(sock)
+                burst = b"".join(
+                    encode_request(
+                        "admit",
+                        {"source": 0, "destination": 15, "bw": 0.1},
+                        request_id=offset + i,
+                    )
+                    for i in range(count)
+                )
+                writer.write(burst)
+                await writer.drain()
+                responses = []
+                for _ in range(count):
+                    line = await reader.readline()
+                    responses.append(decode_response(line.decode()))
+                writer.close()
+                return responses
+
+            first, second = await asyncio.gather(
+                client(0, 5), client(100, 3)
+            )
+            await server.shutdown()
+            return first, second, server
+
+        return collector, asyncio.run(_run())
+
+    def test_concurrent_batches_do_not_share_parents(self, tmp_path):
+        collector, (first, second, _) = self.run_two_clients(tmp_path)
+        assert all(ok for _, ok, _ in first)
+        assert all(ok for _, ok, _ in second)
+        batches = {
+            span.span_id: span for span in collector.spans("server.batch")
+        }
+        assert len(batches) >= 2
+        ops = collector.spans("server.op")
+        assert len(ops) == 8
+        # Every op belongs to exactly one batch, on the batch's lane.
+        per_batch = {}
+        for op in ops:
+            assert op.parent_id in batches
+            assert op.tid == batches[op.parent_id].tid
+            per_batch.setdefault(op.parent_id, []).append(op)
+        sizes = sorted(len(group) for group in per_batch.values())
+        assert sum(sizes) == 8
+        # Ops from the two connections never claim the same batch: the
+        # batch line counts must match what each client pipelined.
+        line_counts = sorted(
+            batches[batch_id].tags["lines"] for batch_id in per_batch
+        )
+        assert line_counts == sizes
+
+    def test_applies_parent_to_ops_and_nest_admissions(self, tmp_path):
+        collector, _ = self.run_two_clients(tmp_path)
+        op_ids = {span.span_id for span in collector.spans("server.op")}
+        applies = collector.spans("server.apply")
+        assert len(applies) == 8
+        assert all(span.parent_id in op_ids for span in applies)
+        apply_ids = {span.span_id for span in applies}
+        admits = collector.spans("service.admit")
+        assert len(admits) == 8
+        # The writer task's contextvars nest the core's spans under
+        # the server.apply it opened.
+        assert all(span.parent_id in apply_ids for span in admits)
+
+    def test_trace_dir_written_on_shutdown(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        collector, _ = self.run_two_clients(
+            tmp_path, trace_dir=str(trace_dir)
+        )
+        chrome = json.loads((trace_dir / "server_trace.json").read_text())
+        assert validate_chrome_trace(chrome) > 0
+        meta, spans = read_ndjson(trace_dir / "server_trace.ndjson")
+        assert meta["spans"] == len(spans) == len(collector)
+
+
+# ----------------------------------------------------------------------
+# CLI end to end
+# ----------------------------------------------------------------------
+class TestTraceCli:
+    @pytest.fixture
+    def inputs(self, tmp_path):
+        topology = tmp_path / "net.json"
+        scenario = tmp_path / "scen.json"
+        assert main(["topology", str(topology), "--nodes", "20",
+                     "--capacity", "15", "--seed", "4"]) == 0
+        assert main(["scenario", str(scenario), "--nodes", "20",
+                     "--rate", "0.05", "--duration", "600",
+                     "--seed", "4"]) == 0
+        return topology, scenario
+
+    def test_trace_command_emits_validated_artifacts(
+        self, inputs, tmp_path, capsys
+    ):
+        topology, scenario = inputs
+        out = tmp_path / "trace.json"
+        ndjson = tmp_path / "trace.ndjson"
+        assert main([
+            "trace", str(topology), str(scenario), "--scheme", "D-LSR",
+            "--out", str(out), "--ndjson", str(ndjson),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) > 0
+        names = {
+            event["name"] for event in payload["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert "service.admit" in names
+        assert "route.plan" in names
+        assert "signal.register" in names
+        meta, spans = read_ndjson(ndjson)
+        assert meta["spans"] == len(spans) > 0
+        captured = capsys.readouterr().out
+        assert "service.admit" in captured
+        assert "ui.perfetto.dev" in captured
+
+    def test_trace_respects_max_spans(self, inputs, tmp_path, capsys):
+        topology, scenario = inputs
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", str(topology), str(scenario),
+            "--out", str(out), "--max-spans", "50",
+        ]) == 0
+        payload = json.loads(out.read_text())
+        events = [
+            event for event in payload["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert len(events) == 50
+        assert payload["otherData"]["dropped_spans"] > 0

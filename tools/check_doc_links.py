@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Verify that documentation code references resolve against the repo.
+
+The docs tree cites code with two kinds of references, both of which
+rot silently when the code moves:
+
+* backticked symbol references — ``src/repro/routing/dlsr.py:DLSRScheme``
+  (optionally with a dotted attribute, ``...:Span.tag``).  The file must
+  exist and the symbol must be a top-level class / function / assignment
+  in it; a dotted attribute must be a method, attribute assignment, or
+  annotated field of that class.
+* backticked bare paths — ``src/repro/cli.py`` or ``docs/tracing.md`` —
+  and relative markdown links ``[text](docs/tracing.md)``.  The target
+  must exist relative to the repo root (anchors and external URLs are
+  ignored).
+
+Run from anywhere::
+
+    python tools/check_doc_links.py [files...]
+
+With no arguments it scans ``README.md``, ``EXPERIMENTS.md`` and every
+``docs/*.md``.  Exits non-zero listing each unresolvable reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ``path/to/file.py:Symbol`` or ``path/to/file.py:Class.attr`` in backticks.
+SYMBOL_REF = re.compile(
+    r"`(?P<path>[\w][\w/.-]*\.py):(?P<symbol>[A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*)`"
+)
+
+# Backticked bare repo paths (with a directory separator or a known
+# doc/source extension, so `trace.json` CLI defaults don't count).
+PATH_REF = re.compile(
+    r"`(?P<path>(?:src|docs|tools|tests|benchmarks|examples)/[\w/.-]+"
+    r"|[\w.-]+\.(?:md|toml|cfg|yml|yaml))`"
+)
+
+# Relative markdown links: [text](path) — skip URLs and pure anchors.
+LINK_REF = re.compile(r"\[[^\]]+\]\((?P<target>[^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def _module_symbols(path: Path) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    """Top-level names of a module plus per-class attribute names."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names: Set[str] = set()
+    class_attrs: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+            attrs: Set[str] = set()
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    attrs.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    attrs.update(
+                        t.id for t in item.targets if isinstance(t, ast.Name)
+                    )
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    attrs.add(item.target.id)
+            class_attrs[node.name] = attrs
+        elif isinstance(node, ast.Assign):
+            names.update(
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            )
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names, class_attrs
+
+
+class _SymbolCache:
+    """Parse each referenced module once across all documents."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Path, Tuple[Set[str], Dict[str, Set[str]]]] = {}
+
+    def lookup(self, path: Path, symbol: str) -> Optional[str]:
+        """Return an error string when ``symbol`` is absent, else None."""
+        if not path.is_file():
+            return "file not found"
+        if path not in self._cache:
+            self._cache[path] = _module_symbols(path)
+        names, class_attrs = self._cache[path]
+        head, _, attr = symbol.partition(".")
+        if head not in names:
+            return "no top-level symbol {!r}".format(head)
+        if attr:
+            attrs = class_attrs.get(head)
+            if attrs is None:
+                return "{!r} is not a class, cannot have {!r}".format(
+                    head, attr
+                )
+            # Only the first attribute level is resolvable statically.
+            first = attr.split(".", 1)[0]
+            if first not in attrs:
+                return "class {!r} has no attribute {!r}".format(head, first)
+        return None
+
+
+def check_document(doc: Path, cache: _SymbolCache) -> List[str]:
+    """All broken references in one markdown document."""
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(REPO_ROOT)
+    problems: List[str] = []
+    seen: Set[Tuple[str, str]] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in SYMBOL_REF.finditer(line):
+            path, symbol = match.group("path"), match.group("symbol")
+            if ("sym", match.group(0)) in seen:
+                continue
+            seen.add(("sym", match.group(0)))
+            error = cache.lookup(REPO_ROOT / path, symbol)
+            if error:
+                problems.append(
+                    "{}:{} `{}:{}` -> {}".format(rel, lineno, path, symbol, error)
+                )
+        for match in PATH_REF.finditer(line):
+            path = match.group("path")
+            if ("path", path) in seen or ":" in path:
+                continue
+            seen.add(("path", path))
+            if not (REPO_ROOT / path).exists():
+                problems.append(
+                    "{}:{} `{}` -> file not found".format(rel, lineno, path)
+                )
+        for match in LINK_REF.finditer(line):
+            target = match.group("target")
+            if ("link", target) in seen:
+                continue
+            seen.add(("link", target))
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    "{}:{} link ({}) -> file not found".format(
+                        rel, lineno, target
+                    )
+                )
+    return problems
+
+
+def default_documents() -> List[Path]:
+    """README, EXPERIMENTS, and the whole docs tree."""
+    docs: List[Path] = []
+    for name in ("README.md", "EXPERIMENTS.md"):
+        candidate = REPO_ROOT / name
+        if candidate.is_file():
+            docs.append(candidate)
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return docs
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    args = list(argv) or sys.argv[1:]
+    documents = (
+        [Path(a).resolve() for a in args] if args else default_documents()
+    )
+    cache = _SymbolCache()
+    problems: List[str] = []
+    for doc in documents:
+        problems.extend(check_document(doc, cache))
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(
+            "{} broken reference(s) across {} document(s)".format(
+                len(problems), len(documents)
+            )
+        )
+        return 1
+    print("doc links ok: {} documents checked".format(len(documents)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
