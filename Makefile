@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick serve-demo examples docs-check clean
+.PHONY: install test bench campaign campaign-sharded campaign-paper chaos-quick chaos-regional serve-demo examples docs-check clean
 
 install:
 	pip install -e '.[test]'
@@ -23,6 +23,17 @@ campaign-paper:
 chaos-quick:
 	python -m repro chaos --rows 6 --cols 6 --rate 1.5 --duration 120 \
 		--intensity 4 --seed 7 --verify
+
+# Correlated-failure acceptance campaign: seeded conduit cuts on the
+# 16x16 mesh with SRLG-aware spare sizing; writes the ChaosReport
+# (with its srlg/P_act-bk^(g) section) to out/chaos_regional.json.
+chaos-regional:
+	python -c "from repro.faults import FaultPlan; import pathlib; \
+		pathlib.Path('out').mkdir(exist_ok=True); \
+		FaultPlan.conduit_cut(rate=0.02, down_min=10, down_max=40).save('out/conduit_cut_plan.json')"
+	python -m repro chaos --rows 16 --cols 16 --rate 2.0 --duration 600 \
+		--seed 7 --srlg conduits --plan out/conduit_cut_plan.json \
+		--verify --log none --report out/chaos_regional.json
 
 # End-to-end control-plane tour: serve an example topology, replay a
 # seeded workload through the load generator, verify decisions against

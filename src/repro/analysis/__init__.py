@@ -3,6 +3,7 @@
 from .fault_tolerance import (
     FaultToleranceObserver,
     FaultToleranceStats,
+    GroupFaultToleranceObserver,
     ReactiveRecoveryObserver,
 )
 from .overhead import (
@@ -40,6 +41,7 @@ from .hotspots import (
 __all__ = [
     "FaultToleranceStats",
     "FaultToleranceObserver",
+    "GroupFaultToleranceObserver",
     "ReactiveRecoveryObserver",
     "capacity_overhead_percent",
     "OverheadComparison",

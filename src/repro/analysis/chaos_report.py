@@ -38,6 +38,14 @@ class ChaosReport:
     faults_injected: Dict[str, int] = field(default_factory=dict)
     invariant_checks: int = 0
 
+    # Correlated (shared-risk / regional) failures
+    srlg_mode: str = "none"
+    group_failures: int = 0
+    group_links_failed: int = 0
+    group_activations_won: int = 0
+    group_activations_lost: int = 0
+    group_activation_reasons: Dict[str, int] = field(default_factory=dict)
+
     # Signaling under faults
     signaling_walks: int = 0
     signaling_retries: int = 0
@@ -107,6 +115,28 @@ class ChaosReport:
     def total_faults(self) -> int:
         return sum(self.faults_injected.values())
 
+    @property
+    def p_act_bk_group(self) -> float:
+        """Realized group-failure survivability: backups activated /
+        backups contested across every correlated cut the campaign
+        applied (``P_act-bk^(g)`` measured on real failures rather than
+        hypothetical sweeps).  1.0 when no cut ever hit a primary."""
+        contested = self.group_activations_won + self.group_activations_lost
+        if contested == 0:
+            return 1.0
+        return self.group_activations_won / contested
+
+    def absorb_group_impact(self, impact, links: int) -> None:
+        """Fold one applied correlated failure into the tallies."""
+        self.group_failures += 1
+        self.group_links_failed += links
+        self.group_activations_won += impact.activated
+        self.group_activations_lost += impact.failed
+        for reason, count in impact.reasons().items():
+            self.group_activation_reasons[reason] = (
+                self.group_activation_reasons.get(reason, 0) + count
+            )
+
     # ------------------------------------------------------------------
     # Rendering / serialization
     # ------------------------------------------------------------------
@@ -124,6 +154,17 @@ class ChaosReport:
             "acceptance_ratio": self.acceptance_ratio,
             "faults_injected": dict(sorted(self.faults_injected.items())),
             "invariant_checks": self.invariant_checks,
+            "srlg": {
+                "mode": self.srlg_mode,
+                "group_failures": self.group_failures,
+                "links_failed": self.group_links_failed,
+                "activations_won": self.group_activations_won,
+                "activations_lost": self.group_activations_lost,
+                "activation_reasons": dict(
+                    sorted(self.group_activation_reasons.items())
+                ),
+                "p_act_bk_group": self.p_act_bk_group,
+            },
             "signaling": {
                 "walks": self.signaling_walks,
                 "retries": self.signaling_retries,
@@ -180,6 +221,20 @@ class ChaosReport:
             ("mean unprotected fraction",
              "{:.2%}".format(self.mean_unprotected_ratio)),
         ]
+        if self.group_failures:
+            rows.extend(
+                [
+                    ("srlg mode", self.srlg_mode),
+                    ("correlated cuts applied", self.group_failures),
+                    ("  links taken down", self.group_links_failed),
+                    ("  activations won / lost",
+                     "{} / {}".format(
+                         self.group_activations_won,
+                         self.group_activations_lost)),
+                    ("P_act-bk^(g) (realized)",
+                     "{:.4f}".format(self.p_act_bk_group)),
+                ]
+            )
         for kind, count in sorted(self.faults_injected.items()):
             rows.append(("  fault: {}".format(kind), count))
         for reason, count in sorted(self.rejected.items()):

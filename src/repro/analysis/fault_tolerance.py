@@ -16,12 +16,13 @@ event by event, with zero estimation variance given the snapshot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
-from ..core.recovery import FailureImpact
+from ..core.recovery import FailureImpact, assess_group_failure
 from ..core.service import DRTPService
 from ..routing.reactive import assess_reactive_recovery
 from ..simulation.simulator import Observer
+from ..topology.srlg import RiskGroupSet
 
 
 @dataclass
@@ -82,6 +83,63 @@ class FaultToleranceObserver(Observer):
                 link_id, use_free_bandwidth=self.use_free_bandwidth
             )
             self.stats.links_swept += 1
+            self.stats.absorb(impact)
+
+
+class GroupFaultToleranceObserver(Observer):
+    """Exhaustive *risk-group* failure sweep — ``P_act-bk^(g)``.
+
+    At every snapshot, every shared-risk group containing at least one
+    link that carries a primary is hypothetically cut (all member
+    links at once) and the affected connections race for spare in a
+    single activation round.  The aggregate success ratio generalizes
+    the paper's single-link ``P_act-bk`` to correlated failures; with
+    singleton groups the two sweeps visit the same failure sites and
+    agree exactly.
+
+    The sweep is measure-only: the risk groups passed here need *not*
+    be installed in the service's network state, which lets an
+    experiment score an SRLG-blind scheme against the same correlated
+    threat model an SRLG-aware scheme was routed under.
+
+    Args:
+        risk_groups: The SRLG assignment defining the failure domains.
+            ``None`` reads the service's installed assignment at sweep
+            time (and raises if there is none).
+        use_free_bandwidth: As in :class:`FaultToleranceObserver`.
+    """
+
+    def __init__(
+        self,
+        risk_groups: Optional[RiskGroupSet] = None,
+        use_free_bandwidth: bool = False,
+    ) -> None:
+        self.stats = FaultToleranceStats()
+        self.risk_groups = risk_groups
+        self.use_free_bandwidth = use_free_bandwidth
+
+    def on_snapshot(self, service: DRTPService, time: float) -> None:
+        groups = self.risk_groups
+        if groups is None:
+            groups = service.risk_groups
+        if groups is None:
+            raise ValueError(
+                "GroupFaultToleranceObserver needs a RiskGroupSet: pass "
+                "one or install risk groups on the service"
+            )
+        self.stats.snapshots += 1
+        at_risk = set()
+        for link_id in service.links_carrying_primaries():
+            at_risk.add(groups.group_of(link_id))
+        for group_id in sorted(at_risk):
+            impact = assess_group_failure(
+                service.state,
+                service.connections(),
+                group_id,
+                groups,
+                use_free_bandwidth=self.use_free_bandwidth,
+            )
+            self.stats.links_swept += len(groups.members(group_id))
             self.stats.absorb(impact)
 
 

@@ -56,6 +56,8 @@ from .experiments.run_all import main as campaign_main
 from .simulation import Scenario, ScenarioSimulator, generate_scenario
 from .topology import (
     load_network,
+    load_network_with_groups,
+    mesh_conduit_groups,
     mesh_network,
     ring_network,
     save_network,
@@ -104,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--cols", type=int, default=4, help="mesh cols")
     topo.add_argument("--capacity", type=float, default=30.0)
     topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--srlg", choices=("none", "conduits", "proximity"),
+                      default="none",
+                      help="embed a risk-group assignment: 'conduits' "
+                      "bundles mesh rows/columns, 'proximity' buckets "
+                      "Waxman links by geographic cell")
+    topo.add_argument("--srlg-cell", type=float, default=0.25,
+                      help="proximity bucketing cell size (unit square)")
 
     scen = sub.add_parser("scenario", help="generate a scenario file")
     scen.add_argument("output", help="where to write the scenario JSON")
@@ -257,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verify", action="store_true",
                        help="run the campaign twice and assert the "
                        "reports are bit-for-bit identical")
+    chaos.add_argument("--srlg", choices=("none", "conduits"),
+                       default="none",
+                       help="shared-risk model: 'conduits' bundles the "
+                       "mesh's row/column conduits into risk groups, "
+                       "sizes spare per group, and lets the plan's "
+                       "regional family cut whole conduits")
 
     def _endpoint_options(p):
         p.add_argument("--socket", default=None, metavar="PATH",
@@ -273,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rows", type=int, default=8, help="mesh rows")
         p.add_argument("--cols", type=int, default=8, help="mesh cols")
         p.add_argument("--capacity", type=float, default=30.0)
+        p.add_argument("--srlg", choices=("none", "conduits", "file"),
+                       default="none",
+                       help="risk groups: 'conduits' bundles the default "
+                       "mesh's row/column conduits; 'file' reads the "
+                       "srlg section embedded in --topology")
 
     serve = sub.add_parser(
         "serve", help="run the online admission-control server"
@@ -346,13 +366,30 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         network = mesh_network(args.rows, args.cols, args.capacity)
     else:
         network = ring_network(args.nodes, args.capacity)
-    save_network(network, args.output)
+    groups = None
+    if args.srlg == "conduits":
+        if args.kind != "mesh":
+            print("--srlg conduits needs --kind mesh", file=sys.stderr)
+            return 2
+        groups = mesh_conduit_groups(network, args.rows, args.cols)
+    elif args.srlg == "proximity":
+        if args.kind != "waxman":
+            print("--srlg proximity needs --kind waxman (geometric "
+                  "layout)", file=sys.stderr)
+            return 2
+        from .topology import proximity_groups
+
+        groups = proximity_groups(network, cell_size=args.srlg_cell)
+    save_network(network, args.output, risk_groups=groups)
     print(
-        "wrote {}: {} nodes, {} links, average degree {:.2f}".format(
+        "wrote {}: {} nodes, {} links, average degree {:.2f}{}".format(
             args.output,
             network.num_nodes,
             network.num_links,
             network.average_degree(),
+            "" if groups is None else
+            ", {} risk groups (max size {})".format(
+                groups.num_groups, groups.max_group_size),
         )
     )
     return 0
@@ -542,6 +579,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         backup_retry_interval=args.retry_interval,
+        srlg=args.srlg,
     )
     tracer = Tracer() if args.trace else None
     report = run_campaign(plan, config, tracer=tracer)
@@ -585,6 +623,33 @@ def _serving_network(args: argparse.Namespace):
     return mesh_network(args.rows, args.cols, args.capacity)
 
 
+def _serving_network_with_groups(args: argparse.Namespace):
+    """Resolve ``(network, risk_groups)`` for serve/loadtest: the
+    --srlg flag selects conduit bundling on the default mesh or the
+    srlg section embedded in the --topology JSON."""
+    if args.srlg == "file":
+        if args.topology is None:
+            raise SystemExit(
+                "--srlg file needs --topology (a JSON with an embedded "
+                "srlg section, written by save_network(risk_groups=...))"
+            )
+        network, groups = load_network_with_groups(args.topology)
+        if groups is None:
+            raise SystemExit(
+                "{} has no srlg section".format(args.topology)
+            )
+        return network, groups
+    network = _serving_network(args)
+    if args.srlg == "conduits":
+        if args.topology is not None:
+            raise SystemExit(
+                "--srlg conduits bundles the default mesh's conduits; "
+                "with --topology, embed groups and use --srlg file"
+            )
+        return network, mesh_conduit_groups(network, args.rows, args.cols)
+    return network, None
+
+
 def _endpoint_kwargs(args: argparse.Namespace) -> dict:
     if args.socket is not None:
         return {"socket_path": args.socket}
@@ -597,13 +662,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .metrics import ServiceMetrics
     from .server import ControlPlaneServer
 
-    network = _serving_network(args)
+    network, risk_groups = _serving_network_with_groups(args)
     scheme = make_scheme(args.scheme)
     metrics = ServiceMetrics()
     service = DRTPService(
         network, scheme,
         live_database=not args.snapshot_db,
         metrics=metrics,
+        risk_groups=risk_groups,
     )
 
     async def _run() -> ControlPlaneServer:
@@ -674,10 +740,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     async def _run():
         status = await fetch_status(**endpoint)
-        network = _serving_network(args) if (
-            args.verify or (plan is not None and plan.bursts.enabled
-                            and plan.bursts.correlated)
-        ) else None
+        needs_topology = args.verify or (
+            plan is not None
+            and (
+                (plan.bursts.enabled and plan.bursts.correlated)
+                or plan.regional.enabled
+            )
+        )
+        network = risk_groups = None
+        if needs_topology or args.srlg != "none":
+            network, risk_groups = _serving_network_with_groups(args)
         if network is not None and (
             network.num_nodes != status["nodes"]
             or network.num_links != status["links"]
@@ -690,7 +762,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 )
             )
         timeline = build_timeline(
-            config, status["nodes"], status["links"], network=network
+            config, status["nodes"], status["links"],
+            network=network, risk_groups=risk_groups,
         )
         generator = LoadGenerator(
             timeline,
@@ -699,9 +772,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             **endpoint,
         )
         report = await generator.run()
-        return status, network, timeline, report
+        return status, network, risk_groups, timeline, report
 
-    status, network, timeline, report = asyncio.run(_run())
+    status, network, risk_groups, timeline, report = asyncio.run(_run())
 
     rows = [
         ("server scheme", status.get("scheme", "?")),
@@ -730,9 +803,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             report.requests_per_second, args.min_rps), file=sys.stderr)
         failures += 1
     if args.verify:
+        # The twin must see the same risk groups as the server: an
+        # SRLG-aware server routes (and therefore decides) differently.
         twin = DRTPService(
             network, make_scheme(args.scheme),
             live_database=status.get("live_database", True),
+            risk_groups=risk_groups,
         )
         reference = run_sequential_reference(twin, timeline)
         delta = abs(

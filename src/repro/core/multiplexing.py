@@ -90,6 +90,24 @@ class SharedSparePolicy(SparePolicy):
         return ledger.max_demand
 
 
+class GroupAwareSparePolicy(SparePolicy):
+    """SRLG sizing: cover the worst *risk-group* failure.
+
+    The paper's ``SC_i ≥ max_j a_{i,j}`` rule assumes exactly one link
+    fails at a time; a conduit cut activates every backup whose primary
+    touches the group, so the spare target becomes the ledger's
+    ``max_group_demand`` — the largest total backup bandwidth any one
+    group failure could activate here.  Without an installed SRLG
+    assignment (or with singleton groups) this degrades to exactly the
+    shared policy.
+    """
+
+    name = "group-shared"
+
+    def target(self, ledger: LinkLedger) -> float:
+        return ledger.max_group_demand
+
+
 class DedicatedSparePolicy(SparePolicy):
     """No multiplexing: one full reservation per registered backup."""
 

@@ -63,10 +63,16 @@ class ActivationOutcome:
 
 @dataclass
 class FailureImpact:
-    """Everything a single link failure would do to the DR-state."""
+    """Everything one failure event would do to the DR-state.
+
+    ``link_id`` labels single-link failures (negative encodes a node
+    failure); ``group_id`` is set instead when the event was a whole
+    shared-risk group going down at once.
+    """
 
     link_id: int
     outcomes: List[ActivationOutcome] = field(default_factory=list)
+    group_id: Optional[int] = None
 
     @property
     def affected(self) -> int:
@@ -150,6 +156,56 @@ def assess_node_failure(
                         conn.connection_id, False, ENDPOINT_FAILED
                     )
                 )
+    return impact
+
+
+def assess_group_failure(
+    state: NetworkState,
+    connections: Iterable[DRConnection],
+    group_id: int,
+    risk_groups,
+    use_free_bandwidth: bool = False,
+) -> FailureImpact:
+    """Pure SRLG assessment: every link of one shared-risk group fails
+    simultaneously and the affected connections race for activation.
+
+    The aggregate success ratio over groups and snapshots is the
+    generalized survivability metric ``P_act-bk^(g)``; with singleton
+    groups it reduces exactly to :func:`assess_link_failure` and the
+    paper's ``P_act-bk``.
+    """
+    members = risk_groups.members(group_id)
+    impact = assess_failed_links(
+        state,
+        connections,
+        frozenset(members),
+        label_link=min(members) if len(members) == 1 else -1,
+        use_free_bandwidth=use_free_bandwidth,
+    )
+    impact.group_id = group_id
+    return impact
+
+
+def apply_group_failure(
+    state: NetworkState,
+    policy: SparePolicy,
+    connections: Dict[int, DRConnection],
+    group_id: int,
+    risk_groups,
+) -> FailureImpact:
+    """Mutating SRLG recovery: the whole group dies at once and the
+    activation race of :func:`apply_failed_links` runs over the union
+    — one simultaneous multi-link failure, not a sequence of
+    single-link recoveries."""
+    members = risk_groups.members(group_id)
+    impact = apply_failed_links(
+        state,
+        policy,
+        connections,
+        frozenset(members),
+        label_link=min(members) if len(members) == 1 else -1,
+    )
+    impact.group_id = group_id
     return impact
 
 

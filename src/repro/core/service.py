@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..network.database import LinkStateDatabase
 from ..network.state import NetworkState
 from ..routing.base import RouteQuery, RoutingContext, RoutingScheme
 from ..topology.graph import Network
+from ..topology.srlg import RiskGroupSet
 from .admission import AdmissionController, AdmissionDecision
 from .channel import Channel, ChannelRole
 from .connection import ConnectionRequest, ConnectionState, DRConnection
@@ -35,8 +36,11 @@ from .multiplexing import SharedSparePolicy, SparePolicy
 from .signaling import BackupRegisterPacket, register_backup_path
 from .recovery import (
     FailureImpact,
+    apply_failed_links,
+    apply_group_failure,
     apply_link_failure,
     apply_node_failure,
+    assess_group_failure,
     assess_link_failure,
     assess_node_failure,
     reconfigure_unprotected,
@@ -131,6 +135,7 @@ class DRTPService:
         retry_policy=None,
         metrics=None,
         trace=None,
+        risk_groups: Optional[RiskGroupSet] = None,
     ) -> None:
         """``live_database=False`` routes from periodically-refreshed
         snapshots instead of instantly-converged link state — the
@@ -164,9 +169,19 @@ class DRTPService:
         records hierarchical spans for every admit/release/recover —
         including the route searches and signaling walks they contain —
         under the same optional-dependency discipline as ``metrics``:
-        ``None`` records nothing and costs nothing."""
+        ``None`` records nothing and costs nothing.
+
+        ``risk_groups`` (a :class:`~repro.topology.srlg.RiskGroupSet`)
+        installs a shared-risk-link-group assignment before any route
+        is computed: routing costs, conflict accounting and spare
+        sizing all become group-aware (see :mod:`repro.topology.srlg`).
+        ``None`` keeps the paper's per-link model."""
         self.network = network
         self.state = NetworkState(network)
+        if risk_groups is not None:
+            # Before the database: a snapshot database built afterwards
+            # would otherwise miss the group tables on its first flood.
+            self.state.install_risk_groups(risk_groups)
         if database is not None:
             self.database = database
         else:
@@ -535,6 +550,143 @@ class DRTPService:
         if self.metrics is not None:
             self.metrics.observe_failure(impact)
         return impact
+
+    # ------------------------------------------------------------------
+    # Correlated (shared-risk) failures
+    # ------------------------------------------------------------------
+    @property
+    def risk_groups(self) -> Optional[RiskGroupSet]:
+        """The installed SRLG assignment, if any."""
+        return self.state.risk_groups
+
+    def install_risk_groups(self, groups: RiskGroupSet) -> None:
+        """Install (or replace) the SRLG assignment on a running
+        service.  Conflict accounting is rebuilt from the standing
+        backup registrations; snapshot databases pick the group tables
+        up at their next refresh."""
+        self.state.install_risk_groups(groups)
+
+    def _require_risk_groups(self) -> RiskGroupSet:
+        groups = self.state.risk_groups
+        if groups is None:
+            raise ConnectionStateError(
+                "no risk groups installed; pass risk_groups= to the "
+                "service or call install_risk_groups() first"
+            )
+        return groups
+
+    def assess_group_failure(
+        self, group_id: int, use_free_bandwidth: bool = False
+    ) -> FailureImpact:
+        """What would happen if every link of one shared-risk group
+        failed simultaneously (pure).  Aggregated over groups this
+        yields the generalized survivability metric ``P_act-bk^(g)``."""
+        return assess_group_failure(
+            self.state,
+            self._connections.values(),
+            group_id,
+            self._require_risk_groups(),
+            use_free_bandwidth=use_free_bandwidth,
+        )
+
+    def fail_group(
+        self, group_id: int, reconfigure: bool = True
+    ) -> FailureImpact:
+        """Fail an entire shared-risk group for real: all member links
+        die at once and the affected connections race for spare in a
+        single activation round (simultaneous semantics — unlike
+        calling :meth:`fail_link` per member, which would let earlier
+        casualties re-protect before later links die)."""
+        if self.trace is None:
+            return self._fail_group(group_id, reconfigure)
+        with self.trace.span(
+            "service.fail_group",
+            category="service",
+            scheme=self.scheme.name,
+            group=group_id,
+        ) as span:
+            impact = self._fail_group(group_id, reconfigure)
+            span.tag(
+                affected=impact.affected,
+                activated=impact.activated,
+                lost=impact.failed,
+            )
+            return impact
+
+    def _fail_group(self, group_id: int, reconfigure: bool) -> FailureImpact:
+        groups = self._require_risk_groups()
+        for link_id in groups.members(group_id):
+            self.state.mark_link_failed(link_id)
+        impact = apply_group_failure(
+            self.state,
+            self.spare_policy,
+            self._connections,
+            group_id,
+            groups,
+        )
+        if reconfigure:
+            reconfigure_unprotected(
+                self.state, self.spare_policy, self._connections, self.scheme
+            )
+        if self.metrics is not None:
+            self.metrics.observe_failure(impact)
+            self.metrics.observe_group_failure(
+                impact, len(groups.members(group_id))
+            )
+        return impact
+
+    def fail_link_set(
+        self, link_ids: Iterable[int], reconfigure: bool = True
+    ) -> FailureImpact:
+        """Fail an arbitrary set of links simultaneously (one
+        activation round) — the regional-fault primitive for
+        neighborhood cuts that do not coincide with a named risk
+        group."""
+        failed = frozenset(link_ids)
+        if self.trace is None:
+            return self._fail_link_set(failed, reconfigure)
+        with self.trace.span(
+            "service.fail_link_set",
+            category="service",
+            scheme=self.scheme.name,
+            links=len(failed),
+        ) as span:
+            impact = self._fail_link_set(failed, reconfigure)
+            span.tag(
+                affected=impact.affected,
+                activated=impact.activated,
+                lost=impact.failed,
+            )
+            return impact
+
+    def _fail_link_set(
+        self, failed: frozenset, reconfigure: bool
+    ) -> FailureImpact:
+        for link_id in failed:
+            self.state.mark_link_failed(link_id)
+        impact = apply_failed_links(
+            self.state,
+            self.spare_policy,
+            self._connections,
+            failed,
+            label_link=min(failed) if len(failed) == 1 else -1,
+        )
+        if reconfigure:
+            reconfigure_unprotected(
+                self.state, self.spare_policy, self._connections, self.scheme
+            )
+        if self.metrics is not None:
+            self.metrics.observe_failure(impact)
+            self.metrics.observe_group_failure(impact, len(failed))
+        return impact
+
+    def repair_group(self, group_id: int) -> None:
+        """Return every link of a shared-risk group to service."""
+        members = self._require_risk_groups().members(group_id)
+        for link_id in members:
+            self.state.mark_link_repaired(link_id)
+        if self.metrics is not None:
+            self.metrics.observe_repair(len(members))
 
     def repair_link(self, link_id: int) -> None:
         """Return a previously failed link to service; its bandwidth

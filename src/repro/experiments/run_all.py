@@ -30,6 +30,7 @@ from .ablations import (
 from .config import SCALES
 from .figure4 import chart_figure4, figure4_panel, format_figure4
 from .figure5 import chart_figure5, figure5_panel, format_figure5
+from .survivability import group_size_ablation, survivability_panel
 from .table1 import format_table1
 
 _ABLATION_HEADERS = (
@@ -38,6 +39,16 @@ _ABLATION_HEADERS = (
     "overhead %",
     "acceptance",
     "msgs/req",
+)
+
+_SURVIVABILITY_HEADERS = (
+    "scheme",
+    "variant",
+    "max group",
+    "P_act-bk",
+    "P_act-bk^(g)",
+    "acceptance",
+    "mean active",
 )
 
 
@@ -176,6 +187,31 @@ def main(argv: Sequence[str] = ()) -> None:
                     _ABLATION_HEADERS, [row.as_tuple() for row in rows]
                 ),
             )
+
+        _print(
+            "Survivability: conduit cuts (SRLG-blind vs SRLG-aware)",
+            format_table(
+                _SURVIVABILITY_HEADERS,
+                [
+                    row.as_tuple()
+                    for row in survivability_panel(
+                        scale=scale, master_seed=args.seed
+                    )
+                ],
+            ),
+        )
+        _print(
+            "Survivability: correlated blast radius (D-LSR)",
+            format_table(
+                _SURVIVABILITY_HEADERS,
+                [
+                    row.as_tuple()
+                    for row in group_size_ablation(
+                        scale=scale, master_seed=args.seed
+                    )
+                ],
+            ),
+        )
 
     if args.export:
         from .export import export_campaign

@@ -1,0 +1,187 @@
+"""Correlated-failure survivability panel (SRLG ablation).
+
+The paper's ``P_act-bk`` assumes link failures strike one at a time;
+real outages cut *conduits* — every fiber in a duct, every link of a
+row of racks — at once.  This experiment quantifies what that costs,
+and what treating shared risk as a first-class routing input buys
+back:
+
+* the same seeded workload is replayed on a mesh whose row/column
+  conduits form shared-risk link groups;
+* each scheme runs **SRLG-blind** (the paper's per-link world: shared
+  spare sizing, per-link conflict costs) and **SRLG-aware** (group
+  conflict costs in the backup search, spare sized to the worst
+  *group* failure via
+  :class:`~repro.core.multiplexing.GroupAwareSparePolicy`);
+* both variants are scored against both threat models: the classic
+  single-link sweep (``P_act-bk``) and the whole-group sweep
+  (``P_act-bk^(g)``), so the panel shows the blind variant's
+  survivability collapse under conduit cuts and the aware variant's
+  recovery of it — plus what the extra spare costs in acceptance.
+
+The group-size ablation re-runs the panel with conduits chopped into
+shorter segments (``segment``), shrinking the blast radius from a full
+row/column down to per-link singletons — where, by construction, every
+number reduces to the classic single-failure result (the equivalence
+the test suite pins bit-exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.fault_tolerance import (
+    FaultToleranceObserver,
+    GroupFaultToleranceObserver,
+)
+from ..core.multiplexing import GroupAwareSparePolicy, SharedSparePolicy
+from ..simulation.arrivals import HoldingTimeDistribution
+from ..simulation.rng import derive_seed
+from ..simulation.scenario import generate_scenario
+from ..topology.mesh import mesh_network
+from ..topology.srlg import RiskGroupSet, mesh_conduit_groups
+from .config import ExperimentScale, QUICK_SCALE
+from .sweep import PAPER_SCHEMES, make_scheme, replay
+
+#: Panel variant labels.
+BLIND = "per-link"
+AWARE = "srlg-aware"
+
+
+@dataclass(frozen=True)
+class SurvivabilityRow:
+    """One (scheme, variant) point of the conduit-cut panel."""
+
+    scheme: str
+    variant: str
+    max_group_size: int
+    p_act_bk: float
+    p_act_bk_group: float
+    acceptance_ratio: float
+    mean_active: float
+
+    def as_tuple(self) -> Tuple[str, str, int, float, float, float, float]:
+        return (
+            self.scheme,
+            self.variant,
+            self.max_group_size,
+            self.p_act_bk,
+            self.p_act_bk_group,
+            self.acceptance_ratio,
+            self.mean_active,
+        )
+
+
+def _survivability_scenario(
+    rows: int,
+    cols: int,
+    arrival_rate: float,
+    scale: ExperimentScale,
+    master_seed: int,
+):
+    return generate_scenario(
+        num_nodes=rows * cols,
+        arrival_rate=arrival_rate,
+        duration=scale.duration,
+        bw_req=1.0,
+        holding=HoldingTimeDistribution(minimum=60.0, maximum=240.0),
+        seed=derive_seed(master_seed, "survivability", rows, cols),
+    )
+
+
+def _score(
+    scheme_name: str,
+    variant: str,
+    network,
+    scenario,
+    groups: RiskGroupSet,
+    scale: ExperimentScale,
+) -> SurvivabilityRow:
+    """Replay once, sweep both threat models on every snapshot."""
+    aware = variant == AWARE
+    link_observer = FaultToleranceObserver()
+    group_observer = GroupFaultToleranceObserver(risk_groups=groups)
+    sim = replay(
+        network,
+        scenario,
+        make_scheme(scheme_name),
+        scale,
+        spare_policy=GroupAwareSparePolicy() if aware else SharedSparePolicy(),
+        observers=(link_observer, group_observer),
+        risk_groups=groups if aware else None,
+    )
+    return SurvivabilityRow(
+        scheme=scheme_name,
+        variant=variant,
+        max_group_size=groups.max_group_size,
+        p_act_bk=link_observer.stats.p_act_bk,
+        p_act_bk_group=group_observer.stats.p_act_bk,
+        acceptance_ratio=sim.acceptance_ratio,
+        mean_active=sim.mean_active_connections,
+    )
+
+
+def survivability_panel(
+    rows: int = 8,
+    cols: int = 8,
+    capacity: float = 30.0,
+    arrival_rate: float = 2.0,
+    segment: Optional[int] = None,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    scale: ExperimentScale = QUICK_SCALE,
+    master_seed: int = 7,
+) -> List[SurvivabilityRow]:
+    """SRLG-blind vs SRLG-aware under conduit cuts, per scheme.
+
+    ``segment`` chops each row/column conduit into runs of at most that
+    many consecutive edges (``None`` keeps whole conduits); the blind
+    and aware variants of each scheme see the identical workload and
+    the identical risk-group geometry.
+    """
+    network = mesh_network(rows, cols, capacity)
+    groups = mesh_conduit_groups(network, rows, cols, segment=segment)
+    scenario = _survivability_scenario(
+        rows, cols, arrival_rate, scale, master_seed
+    )
+    panel: List[SurvivabilityRow] = []
+    for scheme_name in schemes:
+        for variant in (BLIND, AWARE):
+            panel.append(
+                _score(scheme_name, variant, network, scenario, groups, scale)
+            )
+    return panel
+
+
+def group_size_ablation(
+    segments: Sequence[Optional[int]] = (1, 2, 4, None),
+    rows: int = 8,
+    cols: int = 8,
+    capacity: float = 30.0,
+    arrival_rate: float = 2.0,
+    scheme: str = "D-LSR",
+    scale: ExperimentScale = QUICK_SCALE,
+    master_seed: int = 7,
+) -> List[SurvivabilityRow]:
+    """Sweep the correlated blast radius for one scheme.
+
+    ``segments`` orders the sweep from per-link singletons (``1``,
+    where group and link sweeps coincide by construction) up to whole
+    conduits (``None``); each entry contributes the blind and aware
+    variant rows at that group size.
+    """
+    panel: List[SurvivabilityRow] = []
+    for segment in segments:
+        panel.extend(
+            survivability_panel(
+                rows=rows,
+                cols=cols,
+                capacity=capacity,
+                arrival_rate=arrival_rate,
+                segment=segment,
+                schemes=(scheme,),
+                scale=scale,
+                master_seed=master_seed,
+            )
+        )
+    return panel

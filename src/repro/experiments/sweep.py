@@ -145,13 +145,17 @@ def replay(
     spare_policy: Optional[SparePolicy] = None,
     require_backup: bool = True,
     observers: Sequence = (),
+    risk_groups=None,
 ) -> SimulationResult:
-    """Run one scenario against a fresh service."""
+    """Run one scenario against a fresh service.  ``risk_groups``
+    installs an SRLG assignment so routing and spare sizing become
+    group-aware (see :mod:`repro.experiments.survivability`)."""
     service = DRTPService(
         network,
         scheme,
         spare_policy=spare_policy or SharedSparePolicy(),
         require_backup=require_backup,
+        risk_groups=risk_groups,
     )
     simulator = ScenarioSimulator(
         service,

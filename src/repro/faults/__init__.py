@@ -16,6 +16,8 @@ from .injector import (
     FLAP_DOWN,
     FLAP_UP,
     REFRESH,
+    REGIONAL_DOWN,
+    REGIONAL_UP,
     STALENESS,
     FaultInjector,
     TimedFault,
@@ -24,6 +26,7 @@ from .plan import (
     FailureBurstFaults,
     FaultPlan,
     LinkFlapFaults,
+    RegionalFaults,
     SignalingFaults,
     StalenessFaults,
 )
@@ -35,6 +38,7 @@ __all__ = [
     "LinkFlapFaults",
     "FailureBurstFaults",
     "StalenessFaults",
+    "RegionalFaults",
     "FaultInjector",
     "TimedFault",
     "RetryPolicy",
@@ -47,6 +51,8 @@ __all__ = [
     "FLAP_UP",
     "BURST_DOWN",
     "BURST_UP",
+    "REGIONAL_DOWN",
+    "REGIONAL_UP",
     "STALENESS",
     "REFRESH",
 ]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.chaos_report import ChaosReport
+from ..core.multiplexing import GroupAwareSparePolicy
 from ..core.service import DRTPService
 from ..simulation.arrivals import HoldingTimeDistribution
 from ..simulation.engine import Engine
@@ -34,12 +35,15 @@ from ..simulation.rng import derive_seed
 from ..simulation.scenario import generate_scenario
 from ..simulation.tracing import Tracer, TracingService
 from ..topology.mesh import mesh_network
+from ..topology.srlg import mesh_conduit_groups
 from .injector import (
     BURST_DOWN,
     BURST_UP,
     FLAP_DOWN,
     FLAP_UP,
     REFRESH,
+    REGIONAL_DOWN,
+    REGIONAL_UP,
     STALENESS,
     FaultInjector,
 )
@@ -74,12 +78,24 @@ class CampaignConfig:
     #: re-protection queue — models the control plane finishing its
     #: queued work once the adversity stops.
     settle: bool = True
+    #: Shared-risk model: ``"none"`` keeps the paper's per-link world;
+    #: ``"conduits"`` bundles the mesh's row/column conduits into an
+    #: SRLG assignment, sizes spare with
+    #: :class:`~repro.core.multiplexing.GroupAwareSparePolicy`, and
+    #: lets the plan's regional family cut whole conduits.
+    srlg: str = "none"
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.backup_retry_interval <= 0:
             raise ValueError("backup_retry_interval must be positive")
+        if self.srlg not in ("none", "conduits"):
+            raise ValueError(
+                "srlg must be 'none' or 'conduits', got {!r}".format(
+                    self.srlg
+                )
+            )
 
 
 def run_campaign(
@@ -106,13 +122,21 @@ def run_campaign(
     )
     injector = FaultInjector(plan, seed=derive_seed(config.seed, "faults"))
 
+    risk_groups = None
+    spare_policy = None
+    if config.srlg == "conduits":
+        risk_groups = mesh_conduit_groups(network, config.rows, config.cols)
+        spare_policy = GroupAwareSparePolicy()
+
     from ..experiments import make_scheme
 
     bare = DRTPService(
         network,
         make_scheme(config.scheme),
+        spare_policy=spare_policy,
         fault_injector=injector,
         retry_policy=retry_policy,
+        risk_groups=risk_groups,
     )
     service = TracingService(bare, tracer) if tracer is not None else bare
 
@@ -121,6 +145,7 @@ def run_campaign(
         seed=config.seed,
         scheme=config.scheme,
         duration=config.duration,
+        srlg_mode=config.srlg,
     )
     engine = Engine()
 
@@ -219,7 +244,19 @@ def run_campaign(
                 for link_id in fault.links:
                     if not service.state.is_link_failed(link_id):
                         service.fail_link(link_id, reconfigure=True)
-            elif fault.kind in (FLAP_UP, BURST_UP):
+            elif fault.kind == REGIONAL_DOWN:
+                # The whole region dies at once: one activation round
+                # over the surviving spare (simultaneous semantics),
+                # not a per-link cascade.
+                fresh = [
+                    link_id
+                    for link_id in fault.links
+                    if not service.state.is_link_failed(link_id)
+                ]
+                if fresh:
+                    impact = service.fail_link_set(fresh, reconfigure=True)
+                    report.absorb_group_impact(impact, len(fresh))
+            elif fault.kind in (FLAP_UP, BURST_UP, REGIONAL_UP):
                 for link_id in fault.links:
                     if service.state.is_link_failed(link_id):
                         service.repair_link(link_id)
@@ -243,7 +280,9 @@ def run_campaign(
 
         return action
 
-    for fault in injector.schedule(network, config.duration):
+    for fault in injector.schedule(
+        network, config.duration, risk_groups=risk_groups
+    ):
         if fault.time < config.duration:
             engine.schedule(fault.time, apply_fault(fault))
 

@@ -35,17 +35,25 @@ FLAP_DOWN = "flap-down"
 FLAP_UP = "flap-up"
 BURST_DOWN = "burst-down"
 BURST_UP = "burst-up"
+REGIONAL_DOWN = "regional-down"
+REGIONAL_UP = "regional-up"
 STALENESS = "staleness"
 REFRESH = "refresh"
 
 
 @dataclass(frozen=True)
 class TimedFault:
-    """One scheduled fault occurrence in a campaign."""
+    """One scheduled fault occurrence in a campaign.
+
+    ``links`` carries the affected link ids; for :data:`REGIONAL_DOWN`
+    events sampled in SRLG mode, ``groups`` additionally names the
+    shared-risk groups that were cut (so the runner can apply the
+    failure via the group-labelled recovery path)."""
 
     time: float
     kind: str
     links: Tuple[int, ...] = ()
+    groups: Tuple[int, ...] = ()
 
 
 class FaultInjector:
@@ -98,12 +106,20 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Campaign schedule (flaps, bursts, staleness)
     # ------------------------------------------------------------------
-    def schedule(self, network, duration: float) -> List[TimedFault]:
+    def schedule(
+        self, network, duration: float, risk_groups=None
+    ) -> List[TimedFault]:
         """Pre-sample every timed fault of a campaign, sorted by time.
 
         Down events carry the failed link ids; each is paired with an
         up event when the link(s) repair.  Staleness events are paired
         with the re-flood (:data:`REFRESH`) that bounds them.
+
+        ``risk_groups`` (a :class:`~repro.topology.srlg.RiskGroupSet`)
+        is required when the plan's regional family runs in ``srlg``
+        mode; neighborhood mode needs only the topology.  Disabled
+        families consume no randomness, so adding the regional family
+        leaves every pre-existing plan's schedule bit-identical.
         """
         if duration <= 0:
             raise FaultInjectionError(
@@ -139,6 +155,27 @@ class FaultInjector:
                 faults.append(TimedFault(time, STALENESS))
                 faults.append(TimedFault(time + bound, REFRESH))
 
+        regional = self.plan.regional
+        if regional.enabled:
+            if regional.mode == "srlg" and risk_groups is None:
+                raise FaultInjectionError(
+                    "regional faults in 'srlg' mode need a RiskGroupSet; "
+                    "pass risk_groups= to schedule()"
+                )
+            for time in self._poisson_times(regional.rate, duration):
+                links, groups = self._sample_region(
+                    network, rng, risk_groups
+                )
+                if not links:
+                    continue
+                down = rng.uniform(regional.down_min, regional.down_max)
+                faults.append(
+                    TimedFault(time, REGIONAL_DOWN, links, groups)
+                )
+                faults.append(
+                    TimedFault(time + down, REGIONAL_UP, links, groups)
+                )
+
         faults.sort(key=lambda fault: (fault.time, fault.kind, fault.links))
         return faults
 
@@ -166,3 +203,42 @@ class FaultInjector:
         if size == 0:
             return ()
         return tuple(sorted(rng.sample(candidates, size)))
+
+    def _sample_region(
+        self, network, rng, risk_groups
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """One regional event: ``(link_ids, group_ids)``.
+
+        SRLG mode cuts whole risk groups; neighborhood mode fails every
+        link both of whose endpoints lie within ``radius`` hops of a
+        random center (``group_ids`` stays empty there — the region is
+        geographic, not named)."""
+        spec = self.plan.regional
+        if spec.mode == "srlg":
+            count = rng.randint(spec.groups_min, spec.groups_max)
+            count = min(count, risk_groups.num_groups)
+            groups = tuple(
+                sorted(rng.sample(sorted(risk_groups.group_ids()), count))
+            )
+            links: set = set()
+            for group_id in groups:
+                links.update(risk_groups.members(group_id))
+            return tuple(sorted(links)), groups
+        center = rng.randrange(network.num_nodes)
+        inside = {center}
+        frontier = [center]
+        for _hop in range(spec.radius):
+            next_frontier = []
+            for node in frontier:
+                for link in network.out_links(node):
+                    if link.dst not in inside:
+                        inside.add(link.dst)
+                        next_frontier.append(link.dst)
+            frontier = next_frontier
+        links = {
+            link.link_id
+            for node in sorted(inside)
+            for link in network.out_links(node)
+            if link.dst in inside
+        }
+        return tuple(sorted(links)), ()

@@ -144,6 +144,64 @@ class FailureBurstFaults:
 
 
 @dataclass(frozen=True)
+class RegionalFaults:
+    """Correlated failures along *named risk domains*.
+
+    At each Poisson instant (``rate`` events per simulated second) a
+    region fails wholesale and every member link dies simultaneously —
+    the affected connections race for spare in a single activation
+    round, unlike :class:`FailureBurstFaults` whose links are taken
+    down one event at a time.
+
+    ``mode="srlg"`` samples between ``groups_min`` and ``groups_max``
+    distinct shared-risk groups from the campaign's installed
+    :class:`~repro.topology.srlg.RiskGroupSet` (a conduit cut severing
+    every fiber in the duct).  ``mode="neighborhood"`` flood-fills
+    ``radius`` hops from a random center node and fails every link
+    whose both endpoints fall inside (a power or cooling event taking
+    out a geographic region).  Down time is uniform in
+    ``[down_min, down_max]`` seconds; all links of one event repair
+    together.
+    """
+
+    rate: float = 0.0
+    mode: str = "srlg"
+    groups_min: int = 1
+    groups_max: int = 1
+    radius: int = 1
+    down_min: float = 5.0
+    down_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        _check_rate("regional rate", self.rate)
+        if self.mode not in ("srlg", "neighborhood"):
+            raise FaultInjectionError(
+                "regional mode must be 'srlg' or 'neighborhood', "
+                "got {!r}".format(self.mode)
+            )
+        if self.groups_min < 1 or self.groups_max < self.groups_min:
+            raise FaultInjectionError(
+                "need 1 <= groups_min <= groups_max, got [{}, {}]".format(
+                    self.groups_min, self.groups_max
+                )
+            )
+        if self.radius < 1:
+            raise FaultInjectionError(
+                "radius must be >= 1, got {}".format(self.radius)
+            )
+        if self.down_min <= 0 or self.down_max < self.down_min:
+            raise FaultInjectionError(
+                "need 0 < down_min <= down_max, got [{}, {}]".format(
+                    self.down_min, self.down_max
+                )
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+
+@dataclass(frozen=True)
 class StalenessFaults:
     """Bounded link-state staleness: at Poisson instants the database
     freezes at the current state; a re-flood scheduled at most
@@ -176,6 +234,7 @@ class FaultPlan:
     flaps: LinkFlapFaults = field(default_factory=LinkFlapFaults)
     bursts: FailureBurstFaults = field(default_factory=FailureBurstFaults)
     staleness: StalenessFaults = field(default_factory=StalenessFaults)
+    regional: RegionalFaults = field(default_factory=RegionalFaults)
 
     @property
     def enabled_families(self) -> Dict[str, bool]:
@@ -184,6 +243,7 @@ class FaultPlan:
             "flaps": self.flaps.enabled,
             "bursts": self.bursts.enabled,
             "staleness": self.staleness.enabled,
+            "regional": self.regional.enabled,
         }
 
     # ------------------------------------------------------------------
@@ -225,6 +285,51 @@ class FaultPlan:
             ),
         )
 
+    @classmethod
+    def conduit_cut(
+        cls,
+        rate: float = 0.01,
+        groups_max: int = 1,
+        down_min: float = 10.0,
+        down_max: float = 40.0,
+    ) -> "FaultPlan":
+        """Pure correlated-cut adversity: whole shared-risk groups fail
+        at Poisson instants, nothing else is injected.  The campaign
+        must install a :class:`~repro.topology.srlg.RiskGroupSet`."""
+        return cls(
+            name="conduit-cut",
+            regional=RegionalFaults(
+                rate=rate,
+                mode="srlg",
+                groups_min=1,
+                groups_max=groups_max,
+                down_min=down_min,
+                down_max=down_max,
+            ),
+        )
+
+    @classmethod
+    def regional_blackout(
+        cls,
+        rate: float = 0.005,
+        radius: int = 1,
+        down_min: float = 10.0,
+        down_max: float = 40.0,
+    ) -> "FaultPlan":
+        """Geographic adversity: every link inside a ``radius``-hop
+        neighborhood of a random center dies at once.  Needs no SRLG
+        assignment."""
+        return cls(
+            name="regional-blackout",
+            regional=RegionalFaults(
+                rate=rate,
+                mode="neighborhood",
+                radius=radius,
+                down_min=down_min,
+                down_max=down_max,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -245,6 +350,8 @@ class FaultPlan:
             flaps=LinkFlapFaults(**data.get("flaps", {})),
             bursts=FailureBurstFaults(**data.get("bursts", {})),
             staleness=StalenessFaults(**data.get("staleness", {})),
+            # Absent in pre-SRLG archives: default (disabled) family.
+            regional=RegionalFaults(**data.get("regional", {})),
         )
 
     def save(self, path: Union[str, Path]) -> None:

@@ -119,6 +119,22 @@ class ServiceMetrics:
             "backups restored by background re-establishment",
         )
 
+        # -- correlated (shared-risk) failures ------------------------
+        self.group_failures = registry.counter(
+            "drtp_group_failures_total",
+            "correlated multi-link failure events (risk-group cuts and "
+            "regional bursts) applied via the service",
+        )
+        self.group_failed_links = registry.counter(
+            "drtp_group_failed_links_total",
+            "links taken down by correlated failure events",
+        )
+        self.group_recoveries = registry.counter(
+            "drtp_group_recovery_outcomes_total",
+            "backup-activation outcomes after correlated failures",
+            labels=("outcome",),
+        )
+
         # -- collected gauges (bound to a service later) ---------------
         self.active_connections = registry.gauge(
             "drtp_active_connections", "currently established DR-connections",
@@ -210,6 +226,16 @@ class ServiceMetrics:
         self.link_failures.inc()
         for outcome in impact.outcomes:
             self.recoveries.inc(1, outcome.reason)
+
+    def observe_group_failure(self, impact, links: int) -> None:
+        """One correlated multi-link failure event (a risk-group cut or
+        a regional neighborhood burst) was applied; ``observe_failure``
+        is still called separately so the aggregate recovery families
+        include these events too."""
+        self.group_failures.inc()
+        self.group_failed_links.inc(links)
+        for outcome in impact.outcomes:
+            self.group_recoveries.inc(1, outcome.reason)
 
     def observe_repair(self, links: int = 1) -> None:
         self.link_repairs.inc(links)

@@ -36,8 +36,9 @@ link-state protocol.
 
 from __future__ import annotations
 
-from typing import List
+from typing import FrozenSet, List, Optional
 
+from ..topology.srlg import RiskGroupSet
 from .conflict_vector import ConflictVector
 from .state import NetworkState, ResourceError
 
@@ -54,6 +55,8 @@ class LinkStateDatabase:
         self._snapshot_cv: List[ConflictVector] = []
         self._snapshot_primary_headroom: List[float] = []
         self._snapshot_backup_headroom: List[float] = []
+        self._snapshot_group_l1: List[int] = []
+        self._snapshot_group_support: List[FrozenSet[int]] = []
         #: Links whose ledgers mutated since the last refresh — the
         #: incremental-refresh work list.
         self._dirty_links: set = set()
@@ -86,6 +89,15 @@ class LinkStateDatabase:
     def _serving_live(self) -> bool:
         return self._live and not self._stale
 
+    @property
+    def risk_groups(self) -> Optional[RiskGroupSet]:
+        """The network's SRLG assignment, if one is installed."""
+        return self._state.risk_groups
+
+    @property
+    def has_risk_groups(self) -> bool:
+        return self._state.risk_groups is not None
+
     def refresh(self) -> None:
         """Re-flood: re-snapshot the changed link records and close any
         injected staleness window (no-op effect in live mode).
@@ -106,8 +118,18 @@ class LinkStateDatabase:
             self._snapshot_backup_headroom = [
                 ledger.backup_headroom() for ledger in ledgers
             ]
+            if self.has_risk_groups:
+                self._snapshot_group_l1 = [
+                    ledger.group_aplv_l1() for ledger in ledgers
+                ]
+                self._snapshot_group_support = [
+                    ledger.group_support() for ledger in ledgers
+                ]
             self.links_rescanned += len(ledgers)
         else:
+            track_groups = self.has_risk_groups and bool(
+                self._snapshot_group_l1
+            )
             for link_id in self._dirty_links:
                 ledger = self._state.ledger(link_id)
                 self._snapshot_l1[link_id] = ledger.aplv.l1_norm
@@ -118,6 +140,21 @@ class LinkStateDatabase:
                 self._snapshot_backup_headroom[link_id] = (
                     ledger.backup_headroom()
                 )
+                if track_groups:
+                    self._snapshot_group_l1[link_id] = ledger.group_aplv_l1()
+                    self._snapshot_group_support[link_id] = (
+                        ledger.group_support()
+                    )
+            if self.has_risk_groups and not self._snapshot_group_l1:
+                # Risk groups were installed after the first full
+                # snapshot: build the group tables in one pass now.
+                ledgers = self._state.ledgers()
+                self._snapshot_group_l1 = [
+                    ledger.group_aplv_l1() for ledger in ledgers
+                ]
+                self._snapshot_group_support = [
+                    ledger.group_support() for ledger in ledgers
+                ]
             self.links_rescanned += len(self._dirty_links)
         self._dirty_links.clear()
 
@@ -161,6 +198,31 @@ class LinkStateDatabase:
         if self._serving_live():
             return self._state.ledger(link_id).aplv.conflict_count(primary_lset)
         return self.conflict_vector(link_id).conflict_count(primary_lset)
+
+    def group_aplv_l1(self, link_id: int) -> int:
+        """P-LSR's scalar generalized to risk groups: Σ_g (# backups on
+        ``link_id`` whose primary touches group g).  Equal to
+        :meth:`aplv_l1` under singleton groups."""
+        if self._serving_live():
+            return self._state.ledger(link_id).group_aplv_l1()
+        return self._read_snapshot(self._snapshot_group_l1, link_id)
+
+    def group_conflict_count(self, link_id: int, primary_lset) -> int:
+        """D-LSR's cost term generalized to risk groups: how many
+        distinct risk groups of ``primary_lset`` already have an
+        interested backup on ``link_id``.  Equal to
+        :meth:`conflict_count` under singleton groups."""
+        if self._serving_live():
+            return self._state.ledger(link_id).group_conflict_count(
+                primary_lset
+            )
+        groups = self.risk_groups
+        if groups is None:
+            raise ResourceError("no risk groups installed")
+        support = self._read_snapshot(self._snapshot_group_support, link_id)
+        return sum(
+            1 for group in groups.groups_of(primary_lset) if group in support
+        )
 
     def primary_headroom(self, link_id: int) -> float:
         """Bandwidth a new primary could reserve on the link."""

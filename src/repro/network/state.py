@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from ..topology.graph import Network
+from ..topology.srlg import RiskGroupSet
 from .aplv import APLV
 from .conflict_vector import ConflictVector
 
@@ -44,6 +45,9 @@ class LinkLedger:
         "_aplv",
         "_backups",
         "_demand",
+        "_risk_groups",
+        "_group_aplv",
+        "_group_demand",
         "_on_change",
         "_cv_cache",
         "_cv_cache_version",
@@ -65,6 +69,15 @@ class LinkLedger:
         # position j -> total bandwidth of backups here whose primary
         # crosses L_j; the bandwidth-weighted APLV used to size spare.
         self._demand: Dict[int, float] = {}
+        # Shared-risk view (populated only when an SRLG assignment is
+        # installed): group g -> number of backups here whose primary
+        # touches g, and group g -> total bandwidth those backups would
+        # claim if the whole group failed at once.  Bandwidth counts
+        # once per group however many of the group's links the primary
+        # crosses — the group failure takes them all down together.
+        self._risk_groups: Optional[RiskGroupSet] = None
+        self._group_aplv: Dict[int, int] = {}
+        self._group_demand: Dict[int, float] = {}
         # Change-notification hook (set by NetworkState) feeding the
         # dirty-link sets of incremental link-state databases.
         self._on_change: Optional[Callable[[int], None]] = None
@@ -149,6 +162,69 @@ class LinkLedger:
         non-multiplexed reservation would cost)."""
         return sum(bw for _lset, bw in self._backups.values())
 
+    # ------------------------------------------------------------------
+    # Shared-risk (SRLG) views
+    # ------------------------------------------------------------------
+    @property
+    def risk_groups(self) -> Optional[RiskGroupSet]:
+        return self._risk_groups
+
+    def install_risk_groups(self, groups: Optional[RiskGroupSet]) -> None:
+        """Attach (or clear) the SRLG assignment and rebuild the
+        per-group accounting from the live backup registry."""
+        self._risk_groups = groups
+        self._group_aplv = {}
+        self._group_demand = {}
+        if groups is not None:
+            for lset, bw in self._backups.values():
+                for group in groups.groups_of(lset):
+                    self._group_aplv[group] = (
+                        self._group_aplv.get(group, 0) + 1
+                    )
+                    self._group_demand[group] = (
+                        self._group_demand.get(group, 0.0) + bw
+                    )
+        self._touch()
+
+    @property
+    def max_group_demand(self) -> float:
+        """Worst-case spare bandwidth any single *risk-group* failure
+        could demand here: ``max_g Σ {bw of backups whose primary
+        touches group g}``.  With singleton groups this equals
+        :attr:`max_demand`; with conduits it is at least as large,
+        since one cut can strand several of a primary's links at once.
+        Falls back to :attr:`max_demand` when no SRLGs are installed.
+        """
+        if self._risk_groups is None:
+            return self.max_demand
+        if not self._group_demand:
+            return 0.0
+        return max(self._group_demand.values())
+
+    def group_aplv_l1(self) -> int:
+        """Group analog of the APLV's L1 mass: Σ_g (# backups whose
+        primary touches g).  Equal to ``aplv.l1()`` for singletons."""
+        return sum(self._group_aplv.values())
+
+    def group_support(self) -> FrozenSet[int]:
+        """Risk groups with at least one interested backup here."""
+        return frozenset(self._group_aplv)
+
+    def group_conflict_count(self, primary_lset: Iterable[int]) -> int:
+        """Group analog of ``aplv.conflict_count``: how many distinct
+        risk groups of ``primary_lset`` already have a backup here
+        whose primary would fail with them.  For singleton groups this
+        equals the per-link conflict count."""
+        if self._risk_groups is None:
+            raise ResourceError(
+                "link {}: no risk groups installed".format(self.link_id)
+            )
+        return sum(
+            1
+            for group in self._risk_groups.groups_of(primary_lset)
+            if self._group_aplv.get(group, 0) > 0
+        )
+
     def primary_headroom(self) -> float:
         """Bandwidth a new *primary* may claim (free bandwidth only —
         primaries can never squat on reserved spare)."""
@@ -209,6 +285,12 @@ class LinkLedger:
         self._aplv.add_primary(lset)
         for position in lset:
             self._demand[position] = self._demand.get(position, 0.0) + bw
+        if self._risk_groups is not None:
+            for group in self._risk_groups.groups_of(lset):
+                self._group_aplv[group] = self._group_aplv.get(group, 0) + 1
+                self._group_demand[group] = (
+                    self._group_demand.get(group, 0.0) + bw
+                )
         self._backups[connection_id] = (lset, bw)
         self._touch()
 
@@ -229,6 +311,18 @@ class LinkLedger:
                 del self._demand[position]
             else:
                 self._demand[position] = remaining
+        if self._risk_groups is not None:
+            for group in self._risk_groups.groups_of(lset):
+                count = self._group_aplv[group] - 1
+                if count <= 0:
+                    del self._group_aplv[group]
+                else:
+                    self._group_aplv[group] = count
+                remaining = self._group_demand[group] - bw
+                if remaining <= BW_EPSILON:
+                    del self._group_demand[group]
+                else:
+                    self._group_demand[group] = remaining
         self._touch()
 
     # ------------------------------------------------------------------
@@ -302,6 +396,30 @@ class LinkLedger:
                     self.link_id
                 )
             )
+        if self._risk_groups is not None:
+            expected_aplv: Dict[int, int] = {}
+            expected_demand: Dict[int, float] = {}
+            for lset, bw in self._backups.values():
+                for group in self._risk_groups.groups_of(lset):
+                    expected_aplv[group] = expected_aplv.get(group, 0) + 1
+                    expected_demand[group] = (
+                        expected_demand.get(group, 0.0) + bw
+                    )
+            if self._group_aplv != expected_aplv:
+                raise ResourceError(
+                    "link {}: group APLV out of sync with registry".format(
+                        self.link_id
+                    )
+                )
+            if set(self._group_demand) != set(expected_demand) or any(
+                abs(self._group_demand[g] - expected_demand[g]) > BW_EPSILON
+                for g in expected_demand
+            ):
+                raise ResourceError(
+                    "link {}: group demand out of sync with registry".format(
+                        self.link_id
+                    )
+                )
 
 
 class NetworkState:
@@ -317,8 +435,29 @@ class NetworkState:
         ]
         self._failed_links: set = set()
         self._subscribers: List[Callable[[int], None]] = []
+        self._risk_groups: Optional[RiskGroupSet] = None
         for ledger in self._ledgers:
             ledger._on_change = self._notify_change
+
+    # ------------------------------------------------------------------
+    # Shared-risk link groups
+    # ------------------------------------------------------------------
+    @property
+    def risk_groups(self) -> Optional[RiskGroupSet]:
+        return self._risk_groups
+
+    def install_risk_groups(self, groups: Optional[RiskGroupSet]) -> None:
+        """Attach (or clear) an SRLG assignment network-wide; every
+        ledger rebuilds its per-group accounting from its registry."""
+        if groups is not None and groups.num_links != self.network.num_links:
+            raise ResourceError(
+                "risk groups cover {} links but network has {}".format(
+                    groups.num_links, self.network.num_links
+                )
+            )
+        self._risk_groups = groups
+        for ledger in self._ledgers:
+            ledger.install_risk_groups(groups)
 
     # ------------------------------------------------------------------
     # Change notification (feeds incremental database maintenance)

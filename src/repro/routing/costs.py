@@ -66,6 +66,24 @@ def _q_penalty(
     return 0.0
 
 
+def _q_penalty_groups(
+    database: LinkStateDatabase,
+    link: Link,
+    bw_req: float,
+    avoid_groups: FrozenSet[int],
+) -> float:
+    """SRLG generalization of the ``Q`` term: a backup link is charged
+    ``Q`` when it shares a *risk group* with any link it must survive
+    (the primary, plus sibling backups), not merely when it *is* one of
+    those links.  With singleton groups the two tests coincide, so this
+    path reduces bit-identically to :func:`_q_penalty`."""
+    if database.risk_groups.group_of(link.link_id) in avoid_groups:
+        return Q_PENALTY
+    if database.backup_headroom(link.link_id) + BW_EPSILON < bw_req:
+        return Q_PENALTY
+    return 0.0
+
+
 def plsr_backup_cost(
     database: LinkStateDatabase,
     bw_req: float,
@@ -77,9 +95,24 @@ def plsr_backup_cost(
     ``avoid_lset`` extends the ``Q``-charged set beyond the primary —
     used when planning second and further backups, which should also
     stay off the already-chosen backup routes.
+
+    When the network carries an SRLG assignment both terms generalize
+    per-group: ``Q`` is charged for sharing a risk group with the
+    avoided set and the conflict scalar counts backups per group.
     """
     lset = frozenset(primary_lset)
     avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
+
+    if database.has_risk_groups:
+        avoid_groups = database.risk_groups.groups_of(avoid)
+
+        def cost(link: Link) -> Optional[Tuple[float, ...]]:
+            if database.is_failed(link.link_id):
+                return None
+            q = _q_penalty_groups(database, link, bw_req, avoid_groups)
+            return (q + database.group_aplv_l1(link.link_id), 1.0)
+
+        return cost
 
     def cost(link: Link) -> Optional[Tuple[float, ...]]:
         if database.is_failed(link.link_id):
@@ -96,9 +129,27 @@ def dlsr_backup_cost(
     primary_lset: Iterable[int],
     avoid_lset: Optional[Iterable[int]] = None,
 ) -> LinkCost:
-    """D-LSR backup cost: ``(Q + Σ_{L_j∈LSET_P} c_{i,j}, 1 hop)``."""
+    """D-LSR backup cost: ``(Q + Σ_{L_j∈LSET_P} c_{i,j}, 1 hop)``.
+
+    With an SRLG assignment the conflict sum runs over the primary's
+    risk groups instead of its individual links (and ``Q`` charges
+    group-sharing), counting each correlated failure domain once.
+    """
     lset = frozenset(primary_lset)
     avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
+
+    if database.has_risk_groups:
+        avoid_groups = database.risk_groups.groups_of(avoid)
+
+        def cost(link: Link) -> Optional[Tuple[float, ...]]:
+            if database.is_failed(link.link_id):
+                return None
+            q = _q_penalty_groups(database, link, bw_req, avoid_groups)
+            return (
+                q + database.group_conflict_count(link.link_id, lset), 1.0
+            )
+
+        return cost
 
     def cost(link: Link) -> Optional[Tuple[float, ...]]:
         if database.is_failed(link.link_id):
@@ -125,6 +176,18 @@ def disjoint_backup_cost(
     lset = frozenset(primary_lset)
     avoid = frozenset(avoid_lset) if avoid_lset is not None else lset
 
+    if database.has_risk_groups:
+        avoid_groups = database.risk_groups.groups_of(avoid)
+
+        def cost(link: Link) -> Optional[Tuple[float, ...]]:
+            if database.is_failed(link.link_id):
+                return None
+            return (
+                _q_penalty_groups(database, link, bw_req, avoid_groups), 1.0
+            )
+
+        return cost
+
     def cost(link: Link) -> Optional[Tuple[float, ...]]:
         if database.is_failed(link.link_id):
             return None
@@ -146,6 +209,14 @@ def route_has_q_violation(
     acceptable-but-degraded (primary overlap) or unusable (no
     bandwidth)."""
     lset = frozenset(primary_lset)
+    if database.has_risk_groups:
+        avoid_groups = database.risk_groups.groups_of(lset)
+        return any(
+            _q_penalty_groups(
+                database, network.link(link_id), bw_req, avoid_groups
+            ) > 0
+            for link_id in backup_link_ids
+        )
     return any(
         _q_penalty(database, network.link(link_id), bw_req, lset) > 0
         for link_id in backup_link_ids

@@ -322,14 +322,29 @@ class BoundedFloodingScheme(RoutingScheme):
     # Destination selection (Section 4.4)
     # ------------------------------------------------------------------
     @staticmethod
+    def _overlap(lset, other_lset, risk_groups) -> int:
+        """Selection overlap between two link sets: shared links
+        without an SRLG assignment, shared *risk groups* with one.
+        Singleton groups map each link to its own group, so the two
+        counts coincide and selection is unchanged."""
+        if risk_groups is None:
+            return len(lset & other_lset)
+        return len(
+            risk_groups.groups_of(lset) & risk_groups.groups_of(other_lset)
+        )
+
+    @staticmethod
     def select_routes(
         candidates: List[CRTEntry],
+        risk_groups=None,
     ) -> Tuple[Optional[Route], Optional[Route]]:
         """Pick (primary, backup) from a CRT.
 
         Primary: shortest candidate with ``primary_flag = 1`` (first
         arrival among equals).  Backup: among all remaining candidates,
-        minimize ``(overlap with primary, hop count, arrival order)``.
+        minimize ``(overlap with primary, hop count, arrival order)``
+        — overlap counted per risk group when an SRLG assignment is
+        supplied.
         """
         primary_entry = None
         primary_index = -1
@@ -346,7 +361,9 @@ class BoundedFloodingScheme(RoutingScheme):
         for index, entry in enumerate(candidates):
             if index == primary_index:
                 continue
-            overlap = len(entry.route.shared_links(primary_entry.route))
+            overlap = BoundedFloodingScheme._overlap(
+                entry.route.lset, primary_entry.route.lset, risk_groups
+            )
             key = (overlap, entry.hop_count, index)
             if best_key is None or key < best_key:
                 best_key = key
@@ -356,7 +373,7 @@ class BoundedFloodingScheme(RoutingScheme):
 
     @staticmethod
     def select_routes_multi(
-        candidates: List[CRTEntry], num_backups: int
+        candidates: List[CRTEntry], num_backups: int, risk_groups=None
     ) -> Tuple[Optional[Route], List[Route]]:
         """Pick the primary plus up to ``num_backups`` backups.
 
@@ -366,7 +383,9 @@ class BoundedFloodingScheme(RoutingScheme):
         backup prefers routes disjoint from both the primary and the
         first backup.
         """
-        primary, first = BoundedFloodingScheme.select_routes(candidates)
+        primary, first = BoundedFloodingScheme.select_routes(
+            candidates, risk_groups
+        )
         if primary is None or first is None:
             return primary, []
         backups = [first]
@@ -378,7 +397,9 @@ class BoundedFloodingScheme(RoutingScheme):
             for index, entry in enumerate(candidates):
                 if entry.route.lset in taken:
                     continue
-                overlap = len(entry.route.lset & avoid)
+                overlap = BoundedFloodingScheme._overlap(
+                    entry.route.lset, avoid, risk_groups
+                )
                 key = (overlap, entry.hop_count, index)
                 if best_key is None or key < best_key:
                     best_key = key
@@ -390,16 +411,25 @@ class BoundedFloodingScheme(RoutingScheme):
             avoid.update(best.lset)
         return primary, backups
 
+    def _risk_groups(self):
+        """The SRLG assignment visible to this scheme, if any."""
+        if self._context is None:
+            return None
+        return self._context.database.risk_groups
+
     def plan_backup(self, query: RouteQuery, primary: Route):
         """Re-flood and pick the candidate that minimally overlaps the
         *established* primary (reconfiguration path)."""
         result = self.flood(query)
+        risk_groups = self._risk_groups()
         best = None
         best_key = None
         for index, entry in enumerate(result.candidates):
             if entry.route.lset == primary.lset:
                 continue  # the primary itself is not a backup
-            overlap = len(entry.route.shared_links(primary))
+            overlap = self._overlap(
+                entry.route.lset, primary.lset, risk_groups
+            )
             key = (overlap, entry.hop_count, index)
             if best_key is None or key < best_key:
                 best_key = key
@@ -408,9 +438,10 @@ class BoundedFloodingScheme(RoutingScheme):
 
     def plan(self, query: RouteQuery) -> RoutePlan:
         result = self.flood(query)
+        risk_groups = self._risk_groups()
         if self.trace is None:
             primary, backups = self.select_routes_multi(
-                result.candidates, self.num_backups
+                result.candidates, self.num_backups, risk_groups
             )
         else:
             with self.trace.span(
@@ -419,7 +450,7 @@ class BoundedFloodingScheme(RoutingScheme):
                 candidates=len(result.candidates),
             ) as span:
                 primary, backups = self.select_routes_multi(
-                    result.candidates, self.num_backups
+                    result.candidates, self.num_backups, risk_groups
                 )
                 span.tag(
                     primary_found=primary is not None,

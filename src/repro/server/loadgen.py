@@ -30,6 +30,8 @@ from ..faults.injector import (
     BURST_UP,
     FLAP_DOWN,
     FLAP_UP,
+    REGIONAL_DOWN,
+    REGIONAL_UP,
     FaultInjector,
 )
 from ..faults.plan import FaultPlan
@@ -127,13 +129,18 @@ def build_timeline(
     num_nodes: int,
     num_links: int,
     network=None,
+    risk_groups=None,
 ) -> List[TimelineEvent]:
     """Pre-sample the full operation sequence, sorted by virtual time.
 
     ``network`` is only needed when the fault plan uses *correlated*
-    failure bursts (they pick the links of one switch); link flaps and
+    failure bursts (they pick the links of one switch) or regional
+    neighborhood cuts (they flood-fill the topology); link flaps and
     uncorrelated bursts are sampled from the counts alone, which a
-    client can learn from the server's ``status`` op.
+    client can learn from the server's ``status`` op.  ``risk_groups``
+    (a :class:`~repro.topology.srlg.RiskGroupSet`) is additionally
+    required for regional faults in ``srlg`` mode — pass it alongside
+    the network (e.g. ``loadtest --topology --srlg``).
     """
     if num_nodes < 2:
         raise ValueError("need at least 2 nodes to route between")
@@ -181,22 +188,43 @@ def build_timeline(
         request_id += 1
 
     plan = config.fault_plan
-    if plan is not None and (plan.flaps.enabled or plan.bursts.enabled):
+    if plan is not None and (
+        plan.flaps.enabled or plan.bursts.enabled or plan.regional.enabled
+    ):
         if network is None:
             if plan.bursts.enabled and plan.bursts.correlated:
                 raise ValueError(
                     "correlated failure bursts need the real topology; "
                     "pass network= (e.g. loadtest --topology)"
                 )
+            if plan.regional.enabled:
+                raise ValueError(
+                    "regional faults need the real topology; pass "
+                    "network= (e.g. loadtest --topology)"
+                )
             network = _TopologyCounts(num_nodes, num_links)
+        if (
+            plan.regional.enabled
+            and plan.regional.mode == "srlg"
+            and risk_groups is None
+        ):
+            raise ValueError(
+                "regional faults in 'srlg' mode need a risk-group "
+                "assignment; pass risk_groups= (e.g. loadtest --srlg or "
+                "a topology file with an srlg section)"
+            )
         injector = FaultInjector(
             plan, seed=derive_seed(config.master_seed, "loadgen", "faults")
         )
         kind_to_op = {
             FLAP_DOWN: "fail_link", BURST_DOWN: "fail_link",
+            REGIONAL_DOWN: "fail_link",
             FLAP_UP: "repair_link", BURST_UP: "repair_link",
+            REGIONAL_UP: "repair_link",
         }
-        for fault in injector.schedule(network, config.duration):
+        for fault in injector.schedule(
+            network, config.duration, risk_groups=risk_groups
+        ):
             op = kind_to_op.get(fault.kind)
             if op is None:
                 continue  # staleness windows are a simulator concern

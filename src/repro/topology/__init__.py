@@ -22,9 +22,18 @@ from .distance import (
 )
 from .serialize import (
     load_network,
+    load_network_with_groups,
     network_from_dict,
     network_to_dict,
+    risk_groups_from_document,
     save_network,
+)
+from .srlg import (
+    RiskGroupSet,
+    mesh_conduit_groups,
+    proximity_groups,
+    risk_groups_from_dict,
+    risk_groups_to_dict,
 )
 
 __all__ = [
@@ -52,7 +61,14 @@ __all__ = [
     "average_path_length",
     "build_distance_tables",
     "load_network",
+    "load_network_with_groups",
     "save_network",
     "network_to_dict",
     "network_from_dict",
+    "risk_groups_from_document",
+    "RiskGroupSet",
+    "mesh_conduit_groups",
+    "proximity_groups",
+    "risk_groups_to_dict",
+    "risk_groups_from_dict",
 ]

@@ -12,24 +12,41 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .graph import Network, TopologyError
+from .srlg import RiskGroupSet, risk_groups_from_dict, risk_groups_to_dict
 
 _FORMAT_VERSION = 1
 
 
-def network_to_dict(network: Network) -> Dict[str, Any]:
-    """Serialize a network to a plain JSON-compatible dictionary."""
+def network_to_dict(
+    network: Network, risk_groups: Optional[RiskGroupSet] = None
+) -> Dict[str, Any]:
+    """Serialize a network to a plain JSON-compatible dictionary.
+
+    When ``risk_groups`` is given the SRLG assignment is embedded under
+    an optional ``"srlg"`` key; readers that predate risk groups ignore
+    unknown keys, so the document stays backward compatible.
+    """
     links = [
         {"src": link.src, "dst": link.dst, "capacity": link.capacity}
         for link in network.links()
     ]
-    return {
+    document: Dict[str, Any] = {
         "version": _FORMAT_VERSION,
         "num_nodes": network.num_nodes,
         "links": links,
     }
+    if risk_groups is not None:
+        if risk_groups.num_links != network.num_links:
+            raise TopologyError(
+                "risk groups cover {} links but network has {}".format(
+                    risk_groups.num_links, network.num_links
+                )
+            )
+        document["srlg"] = risk_groups_to_dict(risk_groups)
+    return document
 
 
 def network_from_dict(data: Dict[str, Any]) -> Network:
@@ -48,11 +65,37 @@ def network_from_dict(data: Dict[str, Any]) -> Network:
     return net.freeze()
 
 
-def save_network(network: Network, path: Union[str, Path]) -> None:
-    """Write a network as JSON to ``path``."""
-    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+def risk_groups_from_document(
+    data: Dict[str, Any], network: Network
+) -> Optional[RiskGroupSet]:
+    """Extract the optional SRLG assignment from a topology document
+    (``None`` when the document predates risk groups)."""
+    srlg = data.get("srlg")
+    if srlg is None:
+        return None
+    return risk_groups_from_dict(srlg, network)
+
+
+def save_network(
+    network: Network,
+    path: Union[str, Path],
+    risk_groups: Optional[RiskGroupSet] = None,
+) -> None:
+    """Write a network (and optionally its SRLGs) as JSON to ``path``."""
+    Path(path).write_text(
+        json.dumps(network_to_dict(network, risk_groups=risk_groups), indent=2)
+    )
 
 
 def load_network(path: Union[str, Path]) -> Network:
     """Read a network previously written by :func:`save_network`."""
     return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_network_with_groups(
+    path: Union[str, Path],
+) -> Tuple[Network, Optional[RiskGroupSet]]:
+    """Read a network plus its embedded SRLG assignment, if any."""
+    data = json.loads(Path(path).read_text())
+    network = network_from_dict(data)
+    return network, risk_groups_from_document(data, network)

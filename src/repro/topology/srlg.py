@@ -1,0 +1,340 @@
+"""Shared-risk link groups (SRLGs).
+
+The paper's fault model assumes "only a single link can fail between
+two successive recovery actions"; real outages are correlated — a cut
+conduit, a failed line card, a flooded duct takes down a *group* of
+links at once.  A :class:`RiskGroupSet` names those groups on top of a
+frozen :class:`~repro.topology.graph.Network`:
+
+* ``singleton`` — one group per unidirectional link; this degenerate
+  assignment makes every SRLG-aware code path reduce exactly to the
+  paper's per-link behavior (the equivalence the tests pin).
+* ``mesh_conduit_groups`` — on a ``rows x cols`` mesh, all edges of one
+  row (or column) share a physical conduit; ``segment`` chops each
+  conduit into shorter runs for group-size ablations.
+* ``proximity_groups`` — on geometric graphs (Waxman), edges whose
+  midpoints fall into the same spatial cell share a duct.
+* ``from_groups`` — explicit user-specified groups; links not named in
+  any group get implicit singleton groups so the assignment always
+  covers the whole network.
+
+Groups partition the link set (a link belongs to exactly one group);
+both directions of a bidirectional edge normally share their group,
+since a backhoe does not care about traffic direction.  Group ids are
+dense integers ``0 .. num_groups - 1`` assigned deterministically by
+the constructors, so seeded campaigns that sample groups reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .graph import Network, TopologyError
+
+_SRLG_FORMAT_VERSION = 1
+
+
+class RiskGroupSet:
+    """An immutable partition of a network's links into risk groups."""
+
+    __slots__ = ("_num_links", "_members", "_names", "_group_of")
+
+    def __init__(
+        self,
+        num_links: int,
+        members: Sequence[FrozenSet[int]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_links <= 0:
+            raise TopologyError("risk groups need a non-empty network")
+        if names is not None and len(names) != len(members):
+            raise TopologyError(
+                "{} group names for {} groups".format(len(names), len(members))
+            )
+        self._num_links = num_links
+        self._members: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(group) for group in members
+        )
+        self._names: Tuple[str, ...] = tuple(
+            names
+            if names is not None
+            else ("srlg-{}".format(i) for i in range(len(self._members)))
+        )
+        group_of: List[int] = [-1] * num_links
+        for gid, group in enumerate(self._members):
+            if not group:
+                raise TopologyError("risk group {} is empty".format(gid))
+            for link_id in group:
+                if not 0 <= link_id < num_links:
+                    raise TopologyError(
+                        "risk group {} names unknown link {}".format(gid, link_id)
+                    )
+                if group_of[link_id] != -1:
+                    raise TopologyError(
+                        "link {} belongs to risk groups {} and {}".format(
+                            link_id, group_of[link_id], gid
+                        )
+                    )
+                group_of[link_id] = gid
+        uncovered = [i for i, gid in enumerate(group_of) if gid == -1]
+        if uncovered:
+            raise TopologyError(
+                "links not covered by any risk group: {}".format(uncovered[:8])
+            )
+        self._group_of: Tuple[int, ...] = tuple(group_of)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return self._num_links
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._members)
+
+    def group_ids(self) -> range:
+        return range(len(self._members))
+
+    def members(self, group_id: int) -> FrozenSet[int]:
+        """The link ids sharing risk group ``group_id``."""
+        try:
+            return self._members[group_id]
+        except IndexError:
+            raise TopologyError("unknown risk group id {}".format(group_id))
+
+    def name(self, group_id: int) -> str:
+        try:
+            return self._names[group_id]
+        except IndexError:
+            raise TopologyError("unknown risk group id {}".format(group_id))
+
+    def group_of(self, link_id: int) -> int:
+        """The (single) risk group containing ``link_id``."""
+        try:
+            return self._group_of[link_id]
+        except IndexError:
+            raise TopologyError("unknown link id {}".format(link_id))
+
+    def groups_of(self, link_ids: Iterable[int]) -> FrozenSet[int]:
+        """The set of risk groups touched by a link set (a route's
+        LSET mapped through the risk partition)."""
+        return frozenset(self.group_of(link_id) for link_id in link_ids)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True when every group holds exactly one link — the
+        degenerate assignment equivalent to the paper's model."""
+        return len(self._members) == self._num_links
+
+    @property
+    def max_group_size(self) -> int:
+        return max(len(group) for group in self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "RiskGroupSet(groups={}, links={}, max_size={})".format(
+            self.num_groups, self._num_links, self.max_group_size
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def singleton(cls, network: Network) -> "RiskGroupSet":
+        """One group per unidirectional link (the paper's fault model)."""
+        return cls(
+            network.num_links,
+            [frozenset({link_id}) for link_id in range(network.num_links)],
+            names=["link-{}".format(link_id) for link_id in range(network.num_links)],
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        network: Network,
+        groups: Iterable[Iterable[int]],
+        names: Optional[Sequence[str]] = None,
+    ) -> "RiskGroupSet":
+        """Explicit groups; links not named anywhere become implicit
+        singleton groups appended after the explicit ones."""
+        explicit = [frozenset(group) for group in groups]
+        explicit_names = list(
+            names
+            if names is not None
+            else ("srlg-{}".format(i) for i in range(len(explicit)))
+        )
+        if len(explicit_names) != len(explicit):
+            raise TopologyError(
+                "{} group names for {} groups".format(
+                    len(explicit_names), len(explicit)
+                )
+            )
+        covered = set()
+        for group in explicit:
+            covered.update(group)
+        members = list(explicit)
+        group_names = explicit_names
+        for link_id in range(network.num_links):
+            if link_id not in covered:
+                members.append(frozenset({link_id}))
+                group_names.append("link-{}".format(link_id))
+        return cls(network.num_links, members, names=group_names)
+
+
+def _edge_group(network: Network, u: int, v: int) -> FrozenSet[int]:
+    """Both unidirectional links of the edge ``u - v``."""
+    ids = set()
+    if network.has_link(u, v):
+        ids.add(network.link_between(u, v).link_id)
+    if network.has_link(v, u):
+        ids.add(network.link_between(v, u).link_id)
+    if not ids:
+        raise TopologyError("no edge between nodes {} and {}".format(u, v))
+    return frozenset(ids)
+
+
+def mesh_conduit_groups(
+    network: Network,
+    rows: int,
+    cols: int,
+    segment: Optional[int] = None,
+) -> RiskGroupSet:
+    """Row/column conduit SRLGs for a ``rows x cols`` mesh.
+
+    All horizontal edges of one row ride the same physical conduit, as
+    do all vertical edges of one column — the standard duct layout for
+    a street grid.  ``segment`` chops each conduit into runs of at most
+    ``segment`` consecutive edges (``None`` = whole conduit), which is
+    the knob the group-size ablation sweeps.
+    """
+    if rows * cols != network.num_nodes:
+        raise TopologyError(
+            "{}x{} mesh does not match a {}-node network".format(
+                rows, cols, network.num_nodes
+            )
+        )
+    if segment is not None and segment < 1:
+        raise TopologyError("segment must be >= 1, got {}".format(segment))
+
+    def chunk(edges: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
+        if segment is None:
+            return [frozenset().union(*edges)] if edges else []
+        return [
+            frozenset().union(*edges[i : i + segment])
+            for i in range(0, len(edges), segment)
+        ]
+
+    members: List[FrozenSet[int]] = []
+    names: List[str] = []
+    for r in range(rows):
+        edges = [
+            _edge_group(network, r * cols + c, r * cols + c + 1)
+            for c in range(cols - 1)
+        ]
+        for i, group in enumerate(chunk(edges)):
+            members.append(group)
+            names.append("row-{}-{}".format(r, i))
+    for c in range(cols):
+        edges = [
+            _edge_group(network, r * cols + c, (r + 1) * cols + c)
+            for r in range(rows - 1)
+        ]
+        for i, group in enumerate(chunk(edges)):
+            members.append(group)
+            names.append("col-{}-{}".format(c, i))
+    return RiskGroupSet(network.num_links, members, names=names)
+
+
+def proximity_groups(
+    network: Network,
+    points: Optional[Sequence[Tuple[float, float]]] = None,
+    cell_size: float = 0.25,
+) -> RiskGroupSet:
+    """Geometric conduit bundles: edges whose midpoints fall into the
+    same ``cell_size`` x ``cell_size`` spatial cell share a duct.
+
+    ``points`` are the node coordinates in the unit square; for
+    networks built by :func:`~repro.topology.waxman.waxman_network`
+    they default to the generator's recorded ``layout``.
+    """
+    if points is None:
+        points = getattr(network, "layout", None)
+        if points is None:
+            raise TopologyError(
+                "proximity_groups needs node coordinates: pass points= or "
+                "use a generator that records a layout"
+            )
+    if len(points) != network.num_nodes:
+        raise TopologyError(
+            "{} coordinates for {} nodes".format(len(points), network.num_nodes)
+        )
+    if cell_size <= 0:
+        raise TopologyError("cell_size must be positive")
+    cells: Dict[Tuple[int, int], set] = {}
+    seen_edges = set()
+    for link in network.links():
+        key = (min(link.src, link.dst), max(link.src, link.dst))
+        if key in seen_edges:
+            continue
+        seen_edges.add(key)
+        (xu, yu), (xv, yv) = points[link.src], points[link.dst]
+        mid = ((xu + xv) / 2.0, (yu + yv) / 2.0)
+        cell = (
+            int(math.floor(mid[0] / cell_size)),
+            int(math.floor(mid[1] / cell_size)),
+        )
+        cells.setdefault(cell, set()).update(_edge_group(network, *key))
+    members = []
+    names = []
+    for cell in sorted(cells):
+        members.append(frozenset(cells[cell]))
+        names.append("cell-{}-{}".format(*cell))
+    return RiskGroupSet(network.num_links, members, names=names)
+
+
+# ----------------------------------------------------------------------
+# Serialization (embedded in the topology JSON document)
+# ----------------------------------------------------------------------
+def risk_groups_to_dict(groups: RiskGroupSet) -> Dict[str, object]:
+    """JSON-ready form of an assignment (the topology document's
+    ``srlg`` section)."""
+    return {
+        "version": _SRLG_FORMAT_VERSION,
+        "groups": [
+            {"name": groups.name(gid), "links": sorted(groups.members(gid))}
+            for gid in groups.group_ids()
+        ],
+    }
+
+
+def risk_groups_from_dict(
+    data: Mapping[str, object], network: Network
+) -> RiskGroupSet:
+    """Rebuild an assignment from :func:`risk_groups_to_dict` output,
+    validated against ``network``'s link count."""
+    version = data.get("version")
+    if version != _SRLG_FORMAT_VERSION:
+        raise TopologyError(
+            "unsupported SRLG format version: {}".format(version)
+        )
+    entries = data.get("groups")
+    if not isinstance(entries, list):
+        raise TopologyError("SRLG document missing 'groups' list")
+    members = [frozenset(entry["links"]) for entry in entries]
+    names = [str(entry.get("name", "srlg-{}".format(i)))
+             for i, entry in enumerate(entries)]
+    return RiskGroupSet(network.num_links, members, names=names)

@@ -17,6 +17,7 @@ from repro.faults import (
     BURST_DOWN,
     FLAP_DOWN,
     REFRESH,
+    REGIONAL_DOWN,
     STALENESS,
     CampaignConfig,
     FaultPlan,
@@ -97,6 +98,77 @@ class TestQuietPlan:
         assert quiet.mean_unprotected_ratio == 0.0
 
 
+class TestConduitCampaign:
+    """Regional chaos: whole row/column conduits cut at once."""
+
+    CUT_PLAN = FaultPlan.conduit_cut(rate=0.04, down_min=5.0,
+                                     down_max=20.0)
+    CUT_CONFIG = CampaignConfig(rows=6, cols=6, duration=250.0,
+                                arrival_rate=1.5, seed=3,
+                                srlg="conduits")
+
+    @pytest.fixture(scope="class")
+    def cut_report(self):
+        return run_campaign(self.CUT_PLAN, self.CUT_CONFIG,
+                            retry_policy=POLICY)
+
+    def test_conduit_cuts_fired_and_were_recorded(self, cut_report):
+        assert REGIONAL_DOWN in set(cut_report.faults_injected)
+        assert cut_report.srlg_mode == "conduits"
+        assert cut_report.group_failures > 0
+        # A 6x6 conduit bundles both directions of 5 edges.
+        assert cut_report.group_links_failed >= (
+            10 * cut_report.group_failures
+        )
+        assert 0.0 <= cut_report.p_act_bk_group <= 1.0
+        assert (
+            cut_report.group_activations_won
+            + cut_report.group_activations_lost
+        ) == sum(cut_report.group_activation_reasons.values())
+
+    def test_report_carries_the_srlg_section(self, cut_report):
+        payload = json.loads(json.dumps(cut_report.to_dict()))
+        srlg = payload["srlg"]
+        assert srlg["mode"] == "conduits"
+        assert srlg["group_failures"] == cut_report.group_failures
+        assert srlg["p_act_bk_group"] == cut_report.p_act_bk_group
+        assert "correlated cuts applied" in cut_report.format()
+
+    def test_same_seed_is_bit_identical(self, cut_report):
+        rerun = run_campaign(self.CUT_PLAN, self.CUT_CONFIG,
+                             retry_policy=POLICY)
+        assert rerun.to_dict() == cut_report.to_dict()
+
+    def test_srlg_mode_plan_requires_conduit_campaign(self):
+        """A conduit-cut plan on an SRLG-less campaign has no groups to
+        sample from and must fail loudly, not silently skip."""
+        from repro.core.errors import FaultInjectionError
+
+        config = CampaignConfig(rows=6, cols=6, duration=60.0,
+                                arrival_rate=1.0, seed=1, srlg="none")
+        with pytest.raises(FaultInjectionError):
+            run_campaign(self.CUT_PLAN, config, retry_policy=POLICY)
+
+    def test_blackout_plan_needs_no_srlg(self):
+        config = CampaignConfig(rows=5, cols=5, duration=200.0,
+                                arrival_rate=1.0, seed=2, srlg="none")
+        report = run_campaign(
+            FaultPlan.regional_blackout(rate=0.03, down_min=5.0,
+                                        down_max=15.0),
+            config, retry_policy=POLICY,
+        )
+        assert REGIONAL_DOWN in set(report.faults_injected)
+        assert report.srlg_mode == "none"
+        assert report.group_failures > 0
+
+    def test_quiet_campaign_reports_no_group_failures(self, report):
+        assert report.srlg_mode == "none"
+        # The hostile default plan injects bursts but no *regional*
+        # events, so the SRLG section stays empty.
+        assert report.group_failures == 0
+        assert "srlg" in report.to_dict()
+
+
 class TestTracingAndCli:
     def test_tracer_records_faults_and_recoveries(self):
         tracer = Tracer()
@@ -124,3 +196,27 @@ class TestTracingAndCli:
         assert payload["seed"] == 9
         assert "degraded" in payload
         assert "fault plan" in capsys.readouterr().out
+
+    def test_cli_chaos_srlg_conduits(self, tmp_path, capsys):
+        plan_path = tmp_path / "cut.json"
+        FaultPlan.conduit_cut(rate=0.05, down_min=5.0,
+                              down_max=20.0).save(plan_path)
+        out = tmp_path / "srlg.json"
+        code = cli_main(
+            [
+                "chaos",
+                "--rows", "5", "--cols", "5",
+                "--rate", "1.0",
+                "--duration", "200",
+                "--seed", "4",
+                "--srlg", "conduits",
+                "--plan", str(plan_path),
+                "--log", "none",
+                "--report", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["srlg"]["mode"] == "conduits"
+        assert payload["srlg"]["group_failures"] > 0
+        assert "correlated cuts applied" in capsys.readouterr().out

@@ -26,7 +26,7 @@ from repro.server import (
     fetch_status,
     run_sequential_reference,
 )
-from repro.topology import mesh_network
+from repro.topology import mesh_conduit_groups, mesh_network
 
 
 class TestTimeline:
@@ -87,6 +87,43 @@ class TestTimeline:
         with pytest.raises(ValueError):
             build_timeline(config, 16, 48)
         # With the topology supplied the same plan schedules fine.
+        net = mesh_network(4, 4, 10.0)
+        timeline = build_timeline(config, net.num_nodes, net.num_links,
+                                  network=net)
+        assert any(e.op == "fail_link" for e in timeline)
+
+    def test_regional_srlg_plan_needs_topology_and_groups(self):
+        plan = FaultPlan.conduit_cut(rate=0.5)
+        config = LoadGenConfig(duration=20.0, master_seed=6,
+                               fault_plan=plan)
+        # Counts alone are not enough for regional faults...
+        with pytest.raises(ValueError):
+            build_timeline(config, 16, 48)
+        # ...and the topology alone is not enough in 'srlg' mode.
+        net = mesh_network(4, 4, 10.0)
+        with pytest.raises(ValueError):
+            build_timeline(config, net.num_nodes, net.num_links,
+                           network=net)
+        groups = mesh_conduit_groups(net, 4, 4)
+        timeline = build_timeline(config, net.num_nodes, net.num_links,
+                                  network=net, risk_groups=groups)
+        fails = [e for e in timeline if e.op == "fail_link"]
+        repairs = [e for e in timeline if e.op == "repair_link"]
+        assert fails and len(fails) == len(repairs)
+        for event in fails + repairs:
+            assert 0 <= event.args["link"] < net.num_links
+        # A conduit cut fans out to per-link ops at one virtual time.
+        times = {}
+        for event in fails:
+            times.setdefault(event.time, []).append(event.args["link"])
+        assert any(len(links) > 1 for links in times.values())
+
+    def test_regional_neighborhood_plan_needs_only_topology(self):
+        plan = FaultPlan.regional_blackout(rate=0.3)
+        config = LoadGenConfig(duration=20.0, master_seed=4,
+                               fault_plan=plan)
+        with pytest.raises(ValueError):
+            build_timeline(config, 16, 48)
         net = mesh_network(4, 4, 10.0)
         timeline = build_timeline(config, net.num_nodes, net.num_links,
                                   network=net)
@@ -209,6 +246,53 @@ class TestEndToEndEquivalence:
         assert abs(
             report.acceptance_ratio - reference["acceptance_ratio"]
         ) <= 0.005
+
+    def test_equivalence_holds_under_conduit_cuts(self, tmp_path):
+        """An SRLG-aware server replaying a regional fault plan reaches
+        the sequential twin's decisions exactly (the twin must see the
+        same risk groups, since group-aware routing decides
+        differently)."""
+        plan = FaultPlan.conduit_cut(rate=0.15, down_min=0.5,
+                                     down_max=2.0)
+        config = LoadGenConfig(arrival_rate=50.0, duration=8.0,
+                               master_seed=17, fault_plan=plan)
+
+        async def _go():
+            from repro.metrics import ServiceMetrics
+            from repro.core.multiplexing import GroupAwareSparePolicy
+
+            net = mesh_network(4, 4, 30.0)
+            groups = mesh_conduit_groups(net, 4, 4)
+            metrics = ServiceMetrics()
+            service = DRTPService(
+                net, DLSRScheme(), metrics=metrics,
+                spare_policy=GroupAwareSparePolicy(), risk_groups=groups,
+            )
+            metrics.bind_service(service)
+            sock = str(tmp_path / "srlg.sock")
+            server = ControlPlaneServer(service, metrics,
+                                        socket_path=sock)
+            await server.start()
+            timeline = build_timeline(
+                config, net.num_nodes, net.num_links,
+                network=net, risk_groups=groups,
+            )
+            generator = LoadGenerator(timeline, socket_path=sock)
+            report = await generator.run()
+            await server.shutdown()
+            twin_net = mesh_network(4, 4, 30.0)
+            twin = DRTPService(
+                twin_net, DLSRScheme(),
+                spare_policy=GroupAwareSparePolicy(),
+                risk_groups=mesh_conduit_groups(twin_net, 4, 4),
+            )
+            reference = run_sequential_reference(twin, timeline)
+            return report, reference
+
+        report, reference = asyncio.run(_go())
+        assert report.protocol_error_total == 0
+        assert report.fail_links > 0 and report.repair_links > 0
+        assert report.decisions == reference["decisions"]
 
     def test_report_epilogue_captures_status_and_metrics(self, tmp_path):
         config = LoadGenConfig(arrival_rate=30.0, duration=4.0,

@@ -316,3 +316,58 @@ class TestServiceInstrumentation:
         assert service.request(0, 8, 1.0).accepted
         assert metrics.admissions.total() == 0.0
         assert metrics.admission_latency.count == 0
+
+
+class TestGroupFailureInstrumentation:
+    """SRLG recovery counters, recorded through correlated failures."""
+
+    def _grouped_service(self):
+        from repro.topology import mesh_conduit_groups
+
+        metrics = ServiceMetrics()
+        net = mesh_network(4, 4, 10.0)
+        groups = mesh_conduit_groups(net, 4, 4)
+        service = DRTPService(
+            net, DLSRScheme(), metrics=metrics, risk_groups=groups
+        )
+        metrics.bind_service(service)
+        return service, metrics, groups
+
+    def test_group_failure_families_exposed_before_any_traffic(self):
+        """The scrape contract: the three SRLG families must be present
+        in the exposition even before a correlated failure occurs."""
+        _, _, metrics = instrumented_service()
+        families = parse_prometheus_text(
+            metrics.registry.render_prometheus()
+        )
+        for required in (
+            "drtp_group_failures_total",
+            "drtp_group_failed_links_total",
+            "drtp_group_recovery_outcomes_total",
+        ):
+            assert required in families, required
+
+    def test_fail_group_increments_the_counters(self):
+        service, metrics, groups = self._grouped_service()
+        for source in range(3):
+            assert service.request(source, 15, 1.0).accepted
+        group_id = groups.group_of(
+            service.links_carrying_primaries()[0]
+        )
+        impact = service.fail_group(group_id)
+        assert metrics.group_failures.value() == 1.0
+        assert metrics.group_failed_links.value() == float(
+            len(groups.members(group_id))
+        )
+        assert metrics.group_recoveries.total() == float(impact.affected)
+        # The aggregate failure/recovery families see the event too.
+        assert metrics.link_failures.value() == 1.0
+        assert metrics.recoveries.total() == float(impact.affected)
+
+    def test_fail_link_set_counts_as_one_event(self):
+        service, metrics, _ = self._grouped_service()
+        assert service.request(0, 15, 1.0).accepted
+        victims = set(service.links_carrying_primaries()[:2])
+        service.fail_link_set(victims)
+        assert metrics.group_failures.value() == 1.0
+        assert metrics.group_failed_links.value() == float(len(victims))

@@ -1,0 +1,323 @@
+"""Unit tests for the shared-risk-link-group (SRLG) layer.
+
+Covers the :class:`RiskGroupSet` partition semantics and constructors,
+the conduit/proximity group builders, topology-embedded serialization,
+the regional fault family of the fault plan (including backward
+compatibility with pre-SRLG plan archives), and the injector's
+regional scheduling.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.errors import FaultInjectionError
+from repro.faults import (
+    REGIONAL_DOWN,
+    REGIONAL_UP,
+    FaultInjector,
+    FaultPlan,
+    RegionalFaults,
+)
+from repro.topology import (
+    RiskGroupSet,
+    TopologyError,
+    load_network_with_groups,
+    mesh_conduit_groups,
+    mesh_network,
+    proximity_groups,
+    risk_groups_from_dict,
+    risk_groups_to_dict,
+    save_network,
+    waxman_network,
+)
+
+
+class TestRiskGroupSet:
+    def test_partition_is_validated(self):
+        with pytest.raises(TopologyError):
+            RiskGroupSet(0, [])
+        with pytest.raises(TopologyError):  # empty group
+            RiskGroupSet(2, [frozenset(), frozenset({0, 1})])
+        with pytest.raises(TopologyError):  # unknown link
+            RiskGroupSet(2, [frozenset({0, 5}), frozenset({1})])
+        with pytest.raises(TopologyError):  # link in two groups
+            RiskGroupSet(2, [frozenset({0, 1}), frozenset({1})])
+        with pytest.raises(TopologyError):  # uncovered link
+            RiskGroupSet(3, [frozenset({0, 2})])
+        with pytest.raises(TopologyError):  # name arity
+            RiskGroupSet(1, [frozenset({0})], names=("a", "b"))
+
+    def test_views(self):
+        groups = RiskGroupSet(
+            4, [frozenset({0, 1}), frozenset({2}), frozenset({3})],
+            names=("duct", "x", "y"),
+        )
+        assert groups.num_links == 4
+        assert groups.num_groups == len(groups) == 3
+        assert list(groups.group_ids()) == [0, 1, 2]
+        assert groups.members(0) == frozenset({0, 1})
+        assert groups.name(0) == "duct"
+        assert groups.group_of(1) == 0
+        assert groups.groups_of([1, 3]) == frozenset({0, 2})
+        assert not groups.is_singleton
+        assert groups.max_group_size == 2
+        with pytest.raises(TopologyError):
+            groups.members(7)
+        with pytest.raises(TopologyError):
+            groups.group_of(99)
+
+    def test_singleton_covers_every_link(self):
+        net = mesh_network(3, 3, 10.0)
+        groups = RiskGroupSet.singleton(net)
+        assert groups.is_singleton
+        assert groups.num_groups == net.num_links
+        assert groups.max_group_size == 1
+        for link_id in range(net.num_links):
+            assert groups.members(groups.group_of(link_id)) == frozenset(
+                {link_id}
+            )
+
+    def test_from_groups_appends_implicit_singletons(self):
+        net = mesh_network(2, 2, 10.0)
+        explicit = [{0, 1}, {2}]
+        groups = RiskGroupSet.from_groups(net, explicit, names=("a", "b"))
+        assert groups.num_groups == 2 + (net.num_links - 3)
+        assert groups.members(0) == frozenset({0, 1})
+        assert groups.name(0) == "a"
+        # Every uncovered link got its own named singleton group.
+        for link_id in range(3, net.num_links):
+            gid = groups.group_of(link_id)
+            assert groups.members(gid) == frozenset({link_id})
+            assert groups.name(gid) == "link-{}".format(link_id)
+
+    def test_from_groups_rejects_name_mismatch(self):
+        net = mesh_network(2, 2, 10.0)
+        with pytest.raises(TopologyError):
+            RiskGroupSet.from_groups(net, [{0}], names=("a", "b"))
+
+
+class TestMeshConduits:
+    def test_rows_and_columns_partition_the_mesh(self):
+        net = mesh_network(4, 4, 10.0)
+        groups = mesh_conduit_groups(net, 4, 4)
+        # 4 row conduits + 4 column conduits.
+        assert groups.num_groups == 8
+        assert sum(len(groups.members(g)) for g in groups.group_ids()) == (
+            net.num_links
+        )
+        names = {groups.name(g) for g in groups.group_ids()}
+        assert names == {
+            "row-0-0", "row-1-0", "row-2-0", "row-3-0",
+            "col-0-0", "col-1-0", "col-2-0", "col-3-0",
+        }
+        # Each conduit bundles both directions of 3 edges.
+        assert groups.max_group_size == 6
+
+    def test_both_directions_share_a_group(self):
+        net = mesh_network(3, 3, 10.0)
+        groups = mesh_conduit_groups(net, 3, 3)
+        for link in net.links():
+            reverse = net.link_between(link.dst, link.src)
+            assert groups.group_of(link.link_id) == groups.group_of(
+                reverse.link_id
+            )
+
+    def test_segment_chops_conduits(self):
+        net = mesh_network(4, 4, 10.0)
+        whole = mesh_conduit_groups(net, 4, 4)
+        chopped = mesh_conduit_groups(net, 4, 4, segment=1)
+        assert chopped.num_groups == 3 * 4 * 2  # one group per edge
+        assert chopped.max_group_size == 2  # both directions of one edge
+        assert chopped.num_groups > whole.num_groups
+        with pytest.raises(TopologyError):
+            mesh_conduit_groups(net, 4, 4, segment=0)
+
+    def test_shape_must_match_network(self):
+        net = mesh_network(4, 4, 10.0)
+        with pytest.raises(TopologyError):
+            mesh_conduit_groups(net, 3, 5)
+
+
+class TestProximityGroups:
+    def test_waxman_layout_is_used(self):
+        net = waxman_network(16, 6.0, rng=random.Random(3))
+        groups = proximity_groups(net, cell_size=0.5)
+        assert groups.num_links == net.num_links
+        assert sum(len(groups.members(g)) for g in groups.group_ids()) == (
+            net.num_links
+        )
+        assert all(
+            groups.name(g).startswith("cell-") for g in groups.group_ids()
+        )
+
+    def test_explicit_points_and_validation(self):
+        net = mesh_network(2, 2, 10.0)
+        points = [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9), (0.9, 0.9)]
+        groups = proximity_groups(net, points=points, cell_size=0.5)
+        assert groups.num_links == net.num_links
+        with pytest.raises(TopologyError):
+            proximity_groups(net, points=points[:2])
+        with pytest.raises(TopologyError):
+            proximity_groups(net, points=points, cell_size=0.0)
+        with pytest.raises(TopologyError):  # mesh has no layout
+            proximity_groups(net)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        net = mesh_network(4, 4, 10.0)
+        groups = mesh_conduit_groups(net, 4, 4, segment=2)
+        payload = json.loads(json.dumps(risk_groups_to_dict(groups)))
+        back = risk_groups_from_dict(payload, net)
+        assert back.num_groups == groups.num_groups
+        for gid in groups.group_ids():
+            assert back.members(gid) == groups.members(gid)
+            assert back.name(gid) == groups.name(gid)
+
+    def test_unknown_version_rejected(self):
+        net = mesh_network(2, 2, 10.0)
+        with pytest.raises(TopologyError):
+            risk_groups_from_dict({"version": 99, "groups": []}, net)
+        with pytest.raises(TopologyError):
+            risk_groups_from_dict({"version": 1}, net)
+
+    def test_topology_file_round_trip(self, tmp_path):
+        net = mesh_network(4, 4, 10.0)
+        groups = mesh_conduit_groups(net, 4, 4)
+        path = tmp_path / "net.json"
+        save_network(net, path, risk_groups=groups)
+        loaded_net, loaded_groups = load_network_with_groups(path)
+        assert loaded_net.num_links == net.num_links
+        assert loaded_groups is not None
+        assert loaded_groups.num_groups == groups.num_groups
+        for gid in groups.group_ids():
+            assert loaded_groups.members(gid) == groups.members(gid)
+
+    def test_topology_file_without_groups_loads_none(self, tmp_path):
+        net = mesh_network(3, 3, 10.0)
+        path = tmp_path / "bare.json"
+        save_network(net, path)
+        _, loaded_groups = load_network_with_groups(path)
+        assert loaded_groups is None
+
+
+class TestRegionalFaultPlan:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(rate=-1.0)
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(mode="conduit")
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(groups_min=2, groups_max=1)
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(radius=0)
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(down_min=0.0)
+        with pytest.raises(FaultInjectionError):
+            RegionalFaults(down_min=5.0, down_max=1.0)
+
+    def test_canned_plans(self):
+        cut = FaultPlan.conduit_cut(rate=0.1, groups_max=2)
+        assert cut.regional.enabled
+        assert cut.regional.mode == "srlg"
+        assert cut.enabled_families == {
+            "signaling": False, "flaps": False, "bursts": False,
+            "staleness": False, "regional": True,
+        }
+        blackout = FaultPlan.regional_blackout(radius=2)
+        assert blackout.regional.mode == "neighborhood"
+        assert blackout.regional.radius == 2
+
+    def test_plan_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan.conduit_cut(rate=0.05, groups_max=3)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_pre_srlg_archive_still_parses(self):
+        """Plan JSON written before the regional family existed must
+        load with the family disabled."""
+        old = FaultPlan.everything(intensity=2.0).to_dict()
+        removed = old.pop("regional")
+        assert removed is not None
+        plan = FaultPlan.from_dict(json.loads(json.dumps(old)))
+        assert not plan.regional.enabled
+        assert plan.flaps.enabled  # the rest of the archive survived
+
+
+class TestRegionalScheduling:
+    NET = mesh_network(4, 4, 10.0)
+    GROUPS = mesh_conduit_groups(NET, 4, 4)
+
+    def test_srlg_mode_requires_risk_groups(self):
+        injector = FaultInjector(FaultPlan.conduit_cut(rate=0.5), seed=1)
+        with pytest.raises(FaultInjectionError):
+            injector.schedule(self.NET, 100.0)
+
+    def test_conduit_events_pair_down_and_up(self):
+        injector = FaultInjector(FaultPlan.conduit_cut(rate=0.2), seed=4)
+        schedule = injector.schedule(
+            self.NET, 200.0, risk_groups=self.GROUPS
+        )
+        downs = [f for f in schedule if f.kind == REGIONAL_DOWN]
+        ups = [f for f in schedule if f.kind == REGIONAL_UP]
+        assert downs and len(downs) == len(ups)
+        for down in downs:
+            assert down.groups
+            expected = set()
+            for gid in down.groups:
+                expected.update(self.GROUPS.members(gid))
+            assert set(down.links) == expected
+        # Every down is paired with an up cutting the same region.
+        assert sorted((f.links, f.groups) for f in downs) == sorted(
+            (f.links, f.groups) for f in ups
+        )
+
+    def test_schedule_is_deterministic(self):
+        first = FaultInjector(FaultPlan.conduit_cut(rate=0.2), seed=11)
+        second = FaultInjector(FaultPlan.conduit_cut(rate=0.2), seed=11)
+        assert first.schedule(self.NET, 150.0, risk_groups=self.GROUPS) == (
+            second.schedule(self.NET, 150.0, risk_groups=self.GROUPS)
+        )
+
+    def test_neighborhood_mode_needs_no_groups(self):
+        injector = FaultInjector(
+            FaultPlan.regional_blackout(rate=0.2, radius=1), seed=7
+        )
+        schedule = injector.schedule(self.NET, 200.0)
+        downs = [f for f in schedule if f.kind == REGIONAL_DOWN]
+        assert downs
+        for down in downs:
+            assert down.groups == ()
+            # Links of a radius-1 region share a common center node.
+            nodes = set()
+            for link_id in down.links:
+                link = self.NET.link(link_id)
+                nodes.update((link.src, link.dst))
+            assert any(
+                all(
+                    other in nodes
+                    and (
+                        other == center
+                        or self.NET.has_link(center, other)
+                    )
+                    for link_id in down.links
+                    for other in (
+                        self.NET.link(link_id).src,
+                        self.NET.link(link_id).dst,
+                    )
+                )
+                for center in nodes
+            )
+
+    def test_regional_family_leaves_existing_schedules_untouched(self):
+        """A pre-SRLG plan samples the identical schedule whether or not
+        risk groups are offered (disabled families draw no randomness)."""
+        plan = FaultPlan.everything(intensity=3.0)
+        without = FaultInjector(plan, seed=9).schedule(self.NET, 150.0)
+        with_groups = FaultInjector(plan, seed=9).schedule(
+            self.NET, 150.0, risk_groups=self.GROUPS
+        )
+        assert without == with_groups

@@ -1,0 +1,195 @@
+"""Singleton-SRLG equivalence: the degenerate one-link-per-group
+assignment must reproduce the paper's per-link world bit-exactly.
+
+Every SRLG-aware code path (group conflict costs, group-sized spare,
+group failure assessment/recovery, the group fault-tolerance sweep) is
+exercised with singleton groups and compared against the original
+per-link path on the identical workload — decisions, resource-state
+fingerprints and survivability statistics must all agree exactly, not
+approximately.
+"""
+
+import pytest
+
+from repro.analysis import FaultToleranceObserver, GroupFaultToleranceObserver
+from repro.core import DRTPService
+from repro.core.errors import ConnectionStateError
+from repro.core.multiplexing import GroupAwareSparePolicy, SharedSparePolicy
+from repro.experiments import SMOKE_SCALE, make_scheme, replay
+from repro.routing import BoundedFloodingScheme, DLSRScheme, PLSRScheme
+from repro.simulation import (
+    HoldingTimeDistribution,
+    generate_scenario,
+    seeded_rng,
+)
+from repro.topology import RiskGroupSet, mesh_network
+
+SCHEMES = [DLSRScheme, PLSRScheme, BoundedFloodingScheme]
+
+
+def _ops(seed=3, count=150, nodes=16):
+    """A fixed admit/release interleaving, precomputed so twin services
+    consume the identical sequence."""
+    rng = seeded_rng(seed, "srlg-equivalence")
+    ops = []
+    live_guess = 0
+    for _ in range(count):
+        if rng.random() < 0.7 or live_guess == 0:
+            src = rng.randrange(nodes)
+            dst = rng.randrange(nodes)
+            if src == dst:
+                continue
+            ops.append(("request", src, dst))
+            live_guess += 1
+        else:
+            ops.append(("release", rng.randrange(1 << 30), 0))
+            live_guess -= 1
+    return ops
+
+
+def _apply(service, ops):
+    decisions = []
+    admitted = []
+    for kind, a, b in ops:
+        if kind == "request":
+            decision = service.request(a, b, 1.0)
+            decisions.append(decision.accepted)
+            if decision.accepted:
+                admitted.append(decision.connection.connection_id)
+        elif admitted:
+            cid = admitted.pop(a % len(admitted))
+            service.release(cid)
+    return decisions
+
+
+def _twin_services(scheme_cls, capacity=8.0):
+    """(per-link service, singleton-SRLG service) on identical meshes."""
+    plain = DRTPService(mesh_network(4, 4, capacity), scheme_cls())
+    net = mesh_network(4, 4, capacity)
+    grouped = DRTPService(
+        net,
+        scheme_cls(),
+        spare_policy=GroupAwareSparePolicy(),
+        risk_groups=RiskGroupSet.singleton(net),
+    )
+    return plain, grouped
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_decisions_and_state_bit_identical(self, scheme_cls):
+        plain, grouped = _twin_services(scheme_cls)
+        ops = _ops()
+        assert _apply(plain, ops) == _apply(grouped, ops)
+        assert plain.state.fingerprint() == grouped.state.fingerprint()
+        grouped.check_invariants()
+
+    def test_group_spare_policy_reduces_to_shared(self):
+        plain, grouped = _twin_services(DLSRScheme)
+        ops = _ops(seed=8)
+        _apply(plain, ops)
+        _apply(grouped, ops)
+        for plain_ledger, group_ledger in zip(
+            plain.state.ledgers(), grouped.state.ledgers()
+        ):
+            # Singleton groups: worst group failure == worst link demand.
+            assert group_ledger.max_group_demand == (
+                plain_ledger.max_demand
+            )
+            assert group_ledger.spare_bw == plain_ledger.spare_bw
+
+
+class TestFailureEquivalence:
+    def _loaded_twins(self, scheme_cls=DLSRScheme):
+        plain, grouped = _twin_services(scheme_cls)
+        ops = _ops(seed=5, count=120)
+        _apply(plain, ops)
+        _apply(grouped, ops)
+        return plain, grouped
+
+    def test_assess_group_matches_assess_link(self):
+        plain, grouped = self._loaded_twins()
+        groups = grouped.risk_groups
+        for link_id in plain.links_carrying_primaries():
+            link_impact = plain.assess_link_failure(link_id)
+            group_impact = grouped.assess_group_failure(
+                groups.group_of(link_id)
+            )
+            assert group_impact.link_id == link_id
+            assert group_impact.outcomes == link_impact.outcomes
+
+    def test_fail_and_repair_group_matches_link(self):
+        plain, grouped = self._loaded_twins()
+        groups = grouped.risk_groups
+        victims = plain.links_carrying_primaries()[:3]
+        for link_id in victims:
+            link_impact = plain.fail_link(link_id)
+            group_impact = grouped.fail_group(groups.group_of(link_id))
+            assert group_impact.outcomes == link_impact.outcomes
+            assert group_impact.link_id == link_id
+            assert plain.state.fingerprint() == grouped.state.fingerprint()
+        for link_id in victims:
+            plain.repair_link(link_id)
+            grouped.repair_group(groups.group_of(link_id))
+        assert plain.state.fingerprint() == grouped.state.fingerprint()
+        plain.check_invariants()
+        grouped.check_invariants()
+
+    def test_fail_link_set_of_one_matches_fail_link(self):
+        plain, grouped = self._loaded_twins()
+        link_id = plain.links_carrying_primaries()[0]
+        link_impact = plain.fail_link(link_id)
+        set_impact = grouped.fail_link_set({link_id})
+        assert set_impact.link_id == link_id
+        assert set_impact.outcomes == link_impact.outcomes
+        assert plain.state.fingerprint() == grouped.state.fingerprint()
+
+    def test_group_api_requires_groups(self):
+        service = DRTPService(mesh_network(3, 3, 8.0), DLSRScheme())
+        with pytest.raises(ConnectionStateError):
+            service.fail_group(0)
+        with pytest.raises(ConnectionStateError):
+            service.assess_group_failure(0)
+        with pytest.raises(ConnectionStateError):
+            service.repair_group(0)
+
+
+class TestSweepEquivalence:
+    def test_group_sweep_matches_link_sweep_under_singletons(self):
+        """``P_act-bk^(g)`` == ``P_act-bk`` with one-link groups: same
+        failure sites, same races, same statistics — field by field."""
+        net = mesh_network(4, 4, 8.0)
+        groups = RiskGroupSet.singleton(net)
+        scenario = generate_scenario(
+            num_nodes=16,
+            arrival_rate=0.5,
+            duration=SMOKE_SCALE.duration,
+            bw_req=1.0,
+            holding=HoldingTimeDistribution(minimum=60.0, maximum=240.0),
+            seed=31,
+        )
+        link_observer = FaultToleranceObserver()
+        group_observer = GroupFaultToleranceObserver(risk_groups=groups)
+        replay(
+            net,
+            scenario,
+            make_scheme("D-LSR"),
+            SMOKE_SCALE,
+            observers=(link_observer, group_observer),
+        )
+        link_stats, group_stats = link_observer.stats, group_observer.stats
+        assert link_stats.attempts == group_stats.attempts > 0
+        assert link_stats.successes == group_stats.successes
+        assert link_stats.links_swept == group_stats.links_swept
+        assert link_stats.failures_by_reason == (
+            group_stats.failures_by_reason
+        )
+        assert link_stats.p_act_bk == group_stats.p_act_bk
+
+    def test_observer_without_groups_raises(self):
+        net = mesh_network(3, 3, 8.0)
+        service = DRTPService(net, DLSRScheme())
+        service.request(0, 8, 1.0)
+        observer = GroupFaultToleranceObserver()
+        with pytest.raises(ValueError):
+            observer.on_snapshot(service, 0.0)
