@@ -48,3 +48,59 @@ def once(benchmark, fn):
     pytest-benchmark (default rounds would multiply minutes-long
     simulations)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+class ArmTimer:
+    """Per-arm time/iteration accumulator for paired benchmarks.
+
+    Paired benchmarks (scaling, tracing overhead, kernel speedup) time
+    two services over nominally identical workloads.  Their CI
+    artifacts must record how many operations each arm *actually*
+    executed: a silent iteration mismatch — one arm rejecting,
+    skipping, or early-exiting differently — would corrupt the
+    throughput ratio while still producing plausible-looking numbers.
+    Accumulate with :meth:`add`, archive :meth:`report` per arm, and
+    assert the arms' counts agree with :func:`check_paired_iterations`.
+    """
+
+    __slots__ = ("name", "elapsed_ns", "iterations")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed_ns = 0
+        self.iterations = 0
+
+    def add(self, elapsed_ns: int, iterations: int = 1) -> None:
+        """Record ``iterations`` operations that took ``elapsed_ns``."""
+        self.elapsed_ns += elapsed_ns
+        self.iterations += iterations
+
+    @property
+    def elapsed_sec(self) -> float:
+        return self.elapsed_ns * 1e-9
+
+    @property
+    def per_second(self) -> float:
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.iterations / self.elapsed_sec
+
+    def report(self) -> Dict[str, float]:
+        """The arm's artifact record — iteration count included."""
+        return {
+            "arm": self.name,
+            "iterations": self.iterations,
+            "elapsed_sec": round(self.elapsed_sec, 3),
+            "per_second": round(self.per_second, 1),
+        }
+
+
+def check_paired_iterations(*timers: ArmTimer) -> None:
+    """Every arm of a paired benchmark must have executed the same
+    number of operations, or the ratio being reported is meaningless."""
+    counts = {timer.name: timer.iterations for timer in timers}
+    if len(set(counts.values())) > 1:
+        raise AssertionError(
+            "paired benchmark arms executed unequal iteration counts: "
+            "{}".format(counts)
+        )

@@ -1,0 +1,152 @@
+"""Kernel speedup — the compiled-kernel acceptance gate.
+
+Sustained admission throughput of the array-compiled kernel
+(``kernel="compiled"``) against the PR-2 object fast path
+(``kernel="object"``), over the identical seeded workload on square
+meshes.  Both arms plan bit-identical routes (held to that bar by
+``tests/test_kernel_equivalence.py``), so the ratio is a pure engine
+comparison.
+
+Measurement: the arms alternate within each repetition — object then
+compiled, repeated — so CPU-frequency drift and co-tenant noise on a
+shared runner land on both arms inside the same window; each arm's
+best-of-``REPS`` elapsed time forms the reported ratio.  Per-arm
+iteration counts are recorded (and checked) via
+:class:`~_common.ArmTimer`.
+
+Gates and targets, archived in
+``benchmarks/results/kernel_speedup.json``:
+
+* **CI gate** — >= 3x admissions/s on the 16x16 mesh (hard assert);
+* **target** — >= 5x on the 20x20 mesh (recorded as ``target_met``,
+  not asserted: measured headroom today is ~3.5x, bounded by the
+  shared signaling path both arms execute).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_speedup.py -v
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import DRTPService
+from repro.experiments import make_scheme
+from repro.kernels import resolve_backend
+from repro.topology import mesh_network
+
+from _common import ArmTimer, check_paired_iterations
+
+RESULTS_PATH = Path(__file__).parent / "results" / "kernel_speedup.json"
+
+SCHEME = "D-LSR"
+CAPACITY = 32.0
+SEED = 7
+
+#: Interleaved repetitions per arm; best-of wins.
+REPS = 3
+
+#: The CI gate on the 16x16 mesh and the stretch target on 20x20.
+GATE_MESH, GATE_REQUESTS, GATE_RATIO = 16, 600, 3.0
+TARGET_MESH, TARGET_REQUESTS, TARGET_RATIO = 20, 800, 5.0
+
+
+def _workload(net, num_requests):
+    rng = random.Random(SEED)
+    return [
+        tuple(rng.sample(range(net.num_nodes), 2))
+        for _ in range(num_requests)
+    ]
+
+
+def _run_arm(kernel, rows, pairs, timer):
+    """One measured pass of one arm; returns its accepted count."""
+    net = mesh_network(rows, rows, capacity=CAPACITY)
+    scheme = make_scheme(SCHEME)
+    scheme.kernel = kernel
+    service = DRTPService(net, scheme, live_database=True)
+    assert scheme.resolved_kernel() == kernel
+    start = time.perf_counter_ns()
+    for src, dst in pairs:
+        service.request(src, dst, 1.0)
+    timer.add(time.perf_counter_ns() - start, iterations=len(pairs))
+    return service.counters.accepted
+
+
+def measure_mesh(rows, num_requests):
+    """Interleaved best-of-``REPS`` for both arms on one mesh."""
+    net = mesh_network(rows, rows, capacity=CAPACITY)
+    pairs = _workload(net, num_requests)
+    best = {}
+    accepted = {}
+    for _ in range(REPS):
+        for kernel in ("object", "compiled"):
+            timer = ArmTimer(kernel)
+            arm_accepted = _run_arm(kernel, rows, pairs, timer)
+            previous = accepted.setdefault(kernel, arm_accepted)
+            assert arm_accepted == previous  # deterministic replay
+            incumbent = best.get(kernel)
+            if incumbent is None or timer.elapsed_ns < incumbent.elapsed_ns:
+                best[kernel] = timer
+    # Bit-identical planning means bit-identical admission outcomes.
+    assert accepted["object"] == accepted["compiled"]
+    check_paired_iterations(best["object"], best["compiled"])
+    ratio = best["object"].elapsed_ns / best["compiled"].elapsed_ns
+    return {
+        "mesh": "{0}x{0}".format(rows),
+        "num_links": net.num_links,
+        "requests": num_requests,
+        "accepted": accepted["compiled"],
+        "repetitions": REPS,
+        "arms": {
+            timer.name: timer.report() for timer in best.values()
+        },
+        "object_admissions_per_sec": round(best["object"].per_second, 1),
+        "compiled_admissions_per_sec": round(
+            best["compiled"].per_second, 1
+        ),
+        "speedup": round(ratio, 2),
+    }
+
+
+@pytest.mark.slow
+def test_kernel_speedup():
+    """Measure both meshes, record the artifact, and gate on the
+    16x16 acceptance bar (>= 3x admissions/s over the object path)."""
+    gate_entry = measure_mesh(GATE_MESH, GATE_REQUESTS)
+    target_entry = measure_mesh(TARGET_MESH, TARGET_REQUESTS)
+    results = {
+        "scheme": SCHEME,
+        "capacity": CAPACITY,
+        "seed": SEED,
+        "backend": resolve_backend(),
+        "gate": {
+            "mesh": gate_entry["mesh"],
+            "required_speedup": GATE_RATIO,
+            "measured_speedup": gate_entry["speedup"],
+            "met": gate_entry["speedup"] >= GATE_RATIO,
+        },
+        "target": {
+            "mesh": target_entry["mesh"],
+            "required_speedup": TARGET_RATIO,
+            "measured_speedup": target_entry["speedup"],
+            "met": target_entry["speedup"] >= TARGET_RATIO,
+        },
+        "meshes": [gate_entry, target_entry],
+    }
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert gate_entry["speedup"] >= GATE_RATIO, (
+        "compiled kernel must beat the object fast path by >= {}x on "
+        "the {} mesh; measured {}x".format(
+            GATE_RATIO, gate_entry["mesh"], gate_entry["speedup"]
+        )
+    )

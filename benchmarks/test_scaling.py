@@ -39,6 +39,8 @@ from repro.experiments import make_scheme
 from repro.testing import make_reference_service
 from repro.topology import mesh_network
 
+from _common import ArmTimer, check_paired_iterations
+
 RESULTS_PATH = Path(__file__).parent / "results" / "scaling.json"
 
 MESH_SIZES = (8, 12, 16, 20)
@@ -67,12 +69,14 @@ def _workload(net, seed=SEED, num_requests=NUM_REQUESTS):
     ]
 
 
-def _time_admissions(service, pairs):
-    """Drive the seeded request stream; returns (elapsed, accepted)."""
-    start = time.perf_counter()
+def _time_admissions(service, pairs, timer):
+    """Drive the seeded request stream into ``timer``; returns the
+    arm's accepted count."""
+    start = time.perf_counter_ns()
     for src, dst in pairs:
         service.request(src, dst, 1.0)
-    return time.perf_counter() - start, service.counters.accepted
+    timer.add(time.perf_counter_ns() - start, iterations=len(pairs))
+    return service.counters.accepted
 
 
 def measure_mesh(rows):
@@ -80,22 +84,38 @@ def measure_mesh(rows):
     net = mesh_network(rows, rows, capacity=CAPACITY)
     pairs = _workload(net)
 
-    fast = DRTPService(net, make_scheme(SCHEME))
+    # Pin the object kernel: this benchmark compares the PR-2
+    # incremental fast path against the naive rebuild path.  The
+    # array-compiled kernel has its own paired benchmark
+    # (test_kernel_speedup.py) measured against this fast path.
+    scheme = make_scheme(SCHEME)
+    scheme.kernel = "object"
+    fast = DRTPService(net, scheme)
     naive = make_reference_service(fast)
 
-    naive_elapsed, naive_accepted = _time_admissions(naive, pairs)
-    fast_elapsed, fast_accepted = _time_admissions(fast, pairs)
+    fast_timer = ArmTimer("fast")
+    naive_timer = ArmTimer("naive")
+    naive_accepted = _time_admissions(naive, pairs, naive_timer)
+    fast_accepted = _time_admissions(fast, pairs, fast_timer)
 
     # Identical decisions are a precondition for a fair throughput
     # comparison (and are separately enforced bit-for-bit by the
-    # differential oracle suite).
+    # differential oracle suite); so are identical per-arm iteration
+    # counts, which the artifact records.
     assert fast_accepted == naive_accepted
+    check_paired_iterations(fast_timer, naive_timer)
 
+    fast_elapsed = fast_timer.elapsed_sec
+    naive_elapsed = naive_timer.elapsed_sec
     return {
         "mesh": "{0}x{0}".format(rows),
         "num_links": net.num_links,
         "requests": len(pairs),
         "accepted": fast_accepted,
+        "arms": {
+            timer.name: timer.report()
+            for timer in (fast_timer, naive_timer)
+        },
         "fast_admissions_per_sec": round(fast_accepted / fast_elapsed, 1),
         "naive_admissions_per_sec": round(naive_accepted / naive_elapsed, 1),
         "fast_elapsed_sec": round(fast_elapsed, 3),

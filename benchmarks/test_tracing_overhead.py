@@ -30,7 +30,13 @@ from repro.observability import TraceCollector
 from repro.routing import DLSRScheme
 from repro.topology import mesh_network
 
-from _common import RESULTS_DIR, once, record
+from _common import (
+    ArmTimer,
+    RESULTS_DIR,
+    check_paired_iterations,
+    once,
+    record,
+)
 
 ROWS = COLS = 16
 CAPACITY = 32.0
@@ -62,20 +68,21 @@ def _make_service(trace):
     return DRTPService(network, DLSRScheme(), trace=trace)
 
 
-def _step(service, admitted, index, source, destination, bw):
-    """One workload step on one arm, returning its CPU nanoseconds."""
+def _step(service, admitted, index, source, destination, bw, timer):
+    """One workload step on one arm, accumulated into its timer (the
+    request, plus the paired release when one happens, each count as
+    one iteration)."""
     started = time.process_time_ns()
     decision = service.request(
         source=source, destination=destination, bw_req=bw
     )
-    elapsed = time.process_time_ns() - started
+    timer.add(time.process_time_ns() - started)
     if decision.accepted:
         admitted.append(decision.connection.connection_id)
         if index % HOLD_EVERY:
             started = time.process_time_ns()
             service.release(admitted.pop())
-            elapsed += time.process_time_ns() - started
-    return elapsed
+            timer.add(time.process_time_ns() - started)
 
 
 def _run_pass(pairs):
@@ -90,27 +97,31 @@ def _run_pass(pairs):
     base_service = _make_service(None)
     traced_service = _make_service(collector)
     base_admitted, traced_admitted = [], []
-    base_ns = traced_ns = 0
+    base_timer = ArmTimer("baseline")
+    traced_timer = ArmTimer("traced")
     for index, (source, destination, bw) in enumerate(pairs):
         if index % 2:
-            traced_ns += _step(
+            _step(
                 traced_service, traced_admitted, index,
-                source, destination, bw,
+                source, destination, bw, traced_timer,
             )
-            base_ns += _step(
+            _step(
                 base_service, base_admitted, index,
-                source, destination, bw,
+                source, destination, bw, base_timer,
             )
         else:
-            base_ns += _step(
+            _step(
                 base_service, base_admitted, index,
-                source, destination, bw,
+                source, destination, bw, base_timer,
             )
-            traced_ns += _step(
+            _step(
                 traced_service, traced_admitted, index,
-                source, destination, bw,
+                source, destination, bw, traced_timer,
             )
-    return base_ns, traced_ns, collector
+    # The pass is only a valid pairing if both arms executed the same
+    # request/release stream — the artifact records the counts.
+    check_paired_iterations(base_timer, traced_timer)
+    return base_timer, traced_timer, collector
 
 
 def _measure():
@@ -118,16 +129,25 @@ def _measure():
     _run_pass(pairs)  # warm caches outside the measured passes
     overheads, base_rates, traced_rates = [], [], []
     collector = None
+    totals = {"baseline": ArmTimer("baseline"), "traced": ArmTimer("traced")}
     for _ in range(TRIALS):
-        base_ns, traced_ns, collector = _run_pass(pairs)
-        overheads.append(traced_ns / base_ns - 1.0)
-        base_rates.append(ADMISSIONS_PER_TRIAL / (base_ns * 1e-9))
-        traced_rates.append(ADMISSIONS_PER_TRIAL / (traced_ns * 1e-9))
+        base_timer, traced_timer, collector = _run_pass(pairs)
+        for timer in (base_timer, traced_timer):
+            totals[timer.name].add(timer.elapsed_ns, timer.iterations)
+        overheads.append(traced_timer.elapsed_ns / base_timer.elapsed_ns
+                         - 1.0)
+        base_rates.append(ADMISSIONS_PER_TRIAL / base_timer.elapsed_sec)
+        traced_rates.append(
+            ADMISSIONS_PER_TRIAL / traced_timer.elapsed_sec
+        )
     overhead = statistics.median(overheads)
     spans_per_admission = len(collector) / ADMISSIONS_PER_TRIAL
     return {
         "admissions_per_trial": ADMISSIONS_PER_TRIAL,
         "trials": TRIALS,
+        "arms": {
+            name: timer.report() for name, timer in totals.items()
+        },
         "baseline_admissions_per_second": round(
             statistics.median(base_rates), 1
         ),

@@ -21,7 +21,8 @@ mapping because most of the N positions are zero in practice.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+from collections import Counter
+from typing import FrozenSet, Iterable, Iterator, Tuple
 
 
 class APLVError(ValueError):
@@ -35,15 +36,19 @@ class APLV:
         num_links: The network's total link count ``N`` (vector length).
     """
 
-    __slots__ = ("_num_links", "_counts", "_l1", "_support_version")
+    __slots__ = ("_num_links", "_counts", "_l1", "_support_version",
+                 "_support_mask")
 
     def __init__(self, num_links: int) -> None:
         if num_links <= 0:
             raise APLVError("num_links must be positive, got {}".format(num_links))
         self._num_links = num_links
-        self._counts: Dict[int, int] = {}
+        # A Counter so the hot-path increment (`add_primary`) runs as
+        # one C-level update instead of a per-position Python loop.
+        self._counts: Counter = Counter()
         self._l1 = 0
         self._support_version = 0
+        self._support_mask = 0
 
     @classmethod
     def from_lsets(cls, num_links: int, lsets: Iterable[Iterable[int]]) -> "APLV":
@@ -61,13 +66,24 @@ class APLV:
     def add_primary(self, lset: Iterable[int]) -> None:
         """Register a backup on this link: increment every position in
         the backup's *primary* route link set."""
-        for link_id in lset:
-            self._check_position(link_id)
-            count = self._counts.get(link_id, 0)
-            if count == 0:
-                self._support_version += 1
-            self._counts[link_id] = count + 1
-            self._l1 += 1
+        counts = self._counts
+        if type(lset) is not frozenset:
+            lset = tuple(lset)
+        # Positions crossing 0 -> 1 are exactly the ones absent from
+        # the counter; out-of-range ids can never already be counted,
+        # so bounds-checking the fresh positions checks every new id.
+        fresh = set(lset).difference(counts)
+        if fresh:
+            num_links = self._num_links
+            mask = 0
+            for link_id in fresh:
+                if not 0 <= link_id < num_links:
+                    self._check_position(link_id)
+                mask |= 1 << link_id
+            self._support_mask |= mask
+            self._support_version += len(fresh)
+        counts.update(lset)
+        self._l1 += len(lset)
 
     def remove_primary(self, lset: Iterable[int]) -> None:
         """Release a backup from this link: decrement the positions of
@@ -88,6 +104,7 @@ class APLV:
             else:
                 del self._counts[link_id]
                 self._support_version += 1
+                self._support_mask &= ~(1 << link_id)
             self._l1 -= 1
 
     def _check_position(self, link_id: int) -> None:
@@ -138,6 +155,14 @@ class APLV:
         """Positions with ``a_{i,j} > 0`` — the Conflict Vector bits."""
         return frozenset(self._counts)
 
+    @property
+    def support_mask(self) -> int:
+        """:meth:`support` as one int bitset (bit ``j`` set ⟺
+        ``a_{i,j} > 0``), maintained incrementally alongside the
+        counts — the O(1) row read the compiled kernel tables
+        (:mod:`repro.kernels`) sync from."""
+        return self._support_mask
+
     def conflict_count(self, lset: Iterable[int]) -> int:
         """Number of positions of ``lset`` already occupied, i.e. how
         many links of a candidate primary route conflict here.  This is
@@ -161,9 +186,10 @@ class APLV:
 
     def copy(self) -> "APLV":
         clone = APLV(self._num_links)
-        clone._counts = dict(self._counts)
+        clone._counts = self._counts.copy()
         clone._l1 = self._l1
         clone._support_version = self._support_version
+        clone._support_mask = self._support_mask
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -46,6 +46,12 @@ from .state import NetworkState, ResourceError
 class LinkStateDatabase:
     """What a router knows about every link in the network."""
 
+    #: Whether routing may compile this database into flat cost tables
+    #: (:mod:`repro.kernels`).  Subclasses with per-read semantics the
+    #: arrays cannot mirror (e.g. the rebuild-per-read reference
+    #: database) opt out by overriding this to False.
+    supports_compiled_kernel = True
+
     def __init__(self, state: NetworkState, live: bool = True) -> None:
         self._state = state
         self._live = live
@@ -62,6 +68,9 @@ class LinkStateDatabase:
         self._dirty_links: set = set()
         self.refreshes = 0
         self.links_rescanned = 0
+        #: Lazily-created compiled mirror of this database's records
+        #: (see :meth:`kernel_arrays`).
+        self._kernel_arrays = None
         state.subscribe(self._mark_dirty)
         if not live:
             self.refresh()
@@ -157,6 +166,11 @@ class LinkStateDatabase:
                 ]
             self.links_rescanned += len(self._dirty_links)
         self._dirty_links.clear()
+        if self._kernel_arrays is not None:
+            # The compiled mirror follows the same re-flood boundary:
+            # its own dirty set is rescanned exactly when the snapshot
+            # tables are.
+            self._kernel_arrays.flush()
 
     def inject_staleness(self) -> None:
         """Open a staleness window: freeze all resource reads at the
@@ -167,6 +181,20 @@ class LinkStateDatabase:
         self.refresh()
         self._stale = True
         self.staleness_injections += 1
+
+    def kernel_arrays(self):
+        """The compiled flat mirror of this database
+        (:class:`~repro.kernels.arrays.CompiledLinkArrays`), created on
+        first use and kept in lockstep with the refresh discipline.
+        One instance is shared by every scheme routing against this
+        database."""
+        if self._kernel_arrays is None:
+            # Imported here: repro.kernels pulls in routing.costs,
+            # which imports this module.
+            from ..kernels.arrays import CompiledLinkArrays
+
+            self._kernel_arrays = CompiledLinkArrays(self)
+        return self._kernel_arrays
 
     # ------------------------------------------------------------------
     # Per-link records

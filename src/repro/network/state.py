@@ -51,6 +51,12 @@ class LinkLedger:
         "_on_change",
         "_cv_cache",
         "_cv_cache_version",
+        "_gmask_cache",
+        "_gmask_cache_version",
+        "_demand_max",
+        "_demand_max_stale",
+        "_group_demand_max",
+        "_group_demand_max_stale",
     )
 
     def __init__(self, link_id: int, capacity: float, num_links: int) -> None:
@@ -83,6 +89,16 @@ class LinkLedger:
         self._on_change: Optional[Callable[[int], None]] = None
         self._cv_cache: Optional[ConflictVector] = None
         self._cv_cache_version = -1
+        self._gmask_cache = 0
+        self._gmask_cache_version = -1
+        # Running maxima of the demand maps.  Registrations only ever
+        # raise entries, so the maxima update in O(1) on the admission
+        # fast path; releases mark them stale for a lazy O(support)
+        # recompute on the next read.
+        self._demand_max = 0.0
+        self._demand_max_stale = False
+        self._group_demand_max = 0.0
+        self._group_demand_max_stale = False
 
     def _touch(self) -> None:
         """Record one mutation: bump the version and notify readers."""
@@ -122,6 +138,25 @@ class LinkLedger:
             self._cv_cache_version = version
         return self._cv_cache
 
+    def support_mask(self) -> int:
+        """The CV as one int bitset (bit ``j`` set ⟺ ``a_{i,j} > 0``)
+        — the row format the compiled kernel tables
+        (:mod:`repro.kernels`) sync from.  O(1): the APLV maintains
+        the mask incrementally alongside its counts."""
+        return self._aplv.support_mask
+
+    def group_support_mask(self) -> int:
+        """:meth:`group_support` as an int bitset over risk-group ids,
+        cached against the ledger version (group accounting has no
+        separate support counter)."""
+        if self._gmask_cache_version != self.version:
+            mask = 0
+            for group in self._group_aplv:
+                mask |= 1 << group
+            self._gmask_cache = mask
+            self._gmask_cache_version = self.version
+        return self._gmask_cache
+
     @property
     def backup_count(self) -> int:
         return len(self._backups)
@@ -152,9 +187,12 @@ class LinkLedger:
         L_j}``.  With the paper's identical per-connection bandwidth
         this equals ``max(APLV) · bw_req`` — the Section 5 sizing rule.
         """
-        if not self._demand:
-            return 0.0
-        return max(self._demand.values())
+        if self._demand_max_stale:
+            self._demand_max = (
+                max(self._demand.values()) if self._demand else 0.0
+            )
+            self._demand_max_stale = False
+        return self._demand_max
 
     @property
     def total_backup_bw(self) -> float:
@@ -175,6 +213,7 @@ class LinkLedger:
         self._risk_groups = groups
         self._group_aplv = {}
         self._group_demand = {}
+        self._group_demand_max_stale = True
         if groups is not None:
             for lset, bw in self._backups.values():
                 for group in groups.groups_of(lset):
@@ -197,9 +236,14 @@ class LinkLedger:
         """
         if self._risk_groups is None:
             return self.max_demand
-        if not self._group_demand:
-            return 0.0
-        return max(self._group_demand.values())
+        if self._group_demand_max_stale:
+            self._group_demand_max = (
+                max(self._group_demand.values())
+                if self._group_demand
+                else 0.0
+            )
+            self._group_demand_max_stale = False
+        return self._group_demand_max
 
     def group_aplv_l1(self) -> int:
         """Group analog of the APLV's L1 mass: Σ_g (# backups whose
@@ -283,14 +327,20 @@ class LinkLedger:
             raise ResourceError("backup bandwidth must be positive")
         lset = frozenset(primary_lset)
         self._aplv.add_primary(lset)
+        demand = self._demand
         for position in lset:
-            self._demand[position] = self._demand.get(position, 0.0) + bw
+            total = demand.get(position, 0.0) + bw
+            demand[position] = total
+            if total > self._demand_max:
+                self._demand_max = total
         if self._risk_groups is not None:
+            group_demand = self._group_demand
             for group in self._risk_groups.groups_of(lset):
                 self._group_aplv[group] = self._group_aplv.get(group, 0) + 1
-                self._group_demand[group] = (
-                    self._group_demand.get(group, 0.0) + bw
-                )
+                total = group_demand.get(group, 0.0) + bw
+                group_demand[group] = total
+                if total > self._group_demand_max:
+                    self._group_demand_max = total
         self._backups[connection_id] = (lset, bw)
         self._touch()
 
@@ -305,6 +355,8 @@ class LinkLedger:
                 )
             )
         self._aplv.remove_primary(lset)
+        self._demand_max_stale = True
+        self._group_demand_max_stale = True
         for position in lset:
             remaining = self._demand[position] - bw
             if remaining <= BW_EPSILON:

@@ -47,6 +47,7 @@ class DisjointBackupScheme(LinkStateScheme):
     """Shortest primary-disjoint backup, blind to conflicts."""
 
     name = "disjoint"
+    compiled_conflict = "disjoint"
 
     def backup_cost(self, bw_req, primary_lset, avoid_lset):
         return disjoint_backup_cost(

@@ -18,6 +18,15 @@ Both LSR backup costs have the shape ``C_i = Q + conflict_term + eps``:
 Costs are closures over the link-state database and the connection
 being routed, matching how a router would evaluate them from its own
 database copy.
+
+**Compiled-kernel contract:** the batch builders in
+:mod:`repro.kernels.arrays` re-implement these closures as array
+passes and are held bit-identical to them by the three-way conformance
+suite.  Any change to a feasibility expression here (for instance the
+exact form ``headroom + BW_EPSILON < bw_req`` — *not* algebraically
+"equivalent" rewrites, which differ in floating point) or to a
+conflict term must be mirrored there, and will otherwise be caught as
+a kernel divergence by ``tests/test_kernel_equivalence.py``.
 """
 
 from __future__ import annotations

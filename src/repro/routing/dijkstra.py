@@ -67,6 +67,7 @@ class SearchWorkspace:
         "visited_stamp",
         "epoch",
         "in_use",
+        "_flat",
     )
 
     def __init__(self, network: Network) -> None:
@@ -80,6 +81,22 @@ class SearchWorkspace:
         self.visited_stamp = [0] * num_nodes
         self.epoch = 0
         self.in_use = False
+        self._flat: Optional[Tuple[Tuple[Tuple[int, int], ...], ...]] = None
+
+    def flat_adjacency(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Link-object-free form of :attr:`adjacency` for the compiled
+        searches (:mod:`repro.kernels.search`): per node, a tuple of
+        ``(dst, link_id)`` pairs in the same link-insertion order as
+        the object tuples — so both search flavors expand edges, and
+        therefore break ties, identically.  Pair tuples unpack in one
+        bytecode step per edge, the hottest operation of the flat
+        searches.  Built lazily once per workspace."""
+        if self._flat is None:
+            self._flat = tuple(
+                tuple((link.dst, link.link_id) for link in out_links)
+                for out_links in self.adjacency
+            )
+        return self._flat
 
 
 #: Frozen topologies are immutable, so their adjacency (and the sized

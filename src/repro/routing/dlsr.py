@@ -31,6 +31,10 @@ class DLSRScheme(LinkStateScheme):
     """
 
     name = "D-LSR"
+    #: ``backup_cost`` below is exactly the CV ∩ LSET popcount term
+    #: the compiled kernel evaluates in batch (see
+    #: :mod:`repro.kernels`).
+    compiled_conflict = "dlsr"
 
     def backup_cost(
         self,

@@ -16,8 +16,14 @@ only return a route identical to one already chosen.
 from __future__ import annotations
 
 import abc
-from typing import FrozenSet, List, Optional
+from typing import FrozenSet, List, Optional, Sequence
 
+from ..kernels.search import (
+    encode_scale,
+    flat_bounded_shortest_path,
+    flat_min_hop_path,
+    flat_shortest_path,
+)
 from ..topology.graph import Route
 from .base import RoutePlan, RouteQuery, RoutingScheme
 from .costs import Q_PENALTY, primary_link_cost
@@ -91,16 +97,98 @@ def _traced_search(
     return route
 
 
+def _flat_search(
+    scheme: RoutingScheme,
+    query: RouteQuery,
+    costs: Sequence[float],
+    unit: bool = False,
+):
+    """Compiled-kernel counterpart of :func:`_search`: the whole cost
+    array is already built, so dispatch goes straight to the flat
+    searches (never through the pluggable ``search_*`` hooks — when
+    those are overridden, :meth:`RoutingScheme.resolved_kernel` keeps
+    the scheme on the object path in the first place).
+
+    ``unit`` marks cost arrays whose only allowed value is ``1.0``
+    (primary searches), unlocking the BFS specialization for the
+    unbounded case; the bounded layered search stays on the heap,
+    whose re-expansions BFS cannot replicate."""
+    network = scheme.context.network
+    if query.max_hops is None:
+        if unit:
+            return flat_min_hop_path(
+                network, query.source, query.destination, costs
+            )
+        return flat_shortest_path(
+            network, query.source, query.destination, costs
+        )
+    return flat_bounded_shortest_path(
+        network, query.source, query.destination, costs, query.max_hops
+    )
+
+
+def _cost_breakdown_flat(costs: Sequence[float], route: Route, scale: float):
+    """:func:`_cost_breakdown` over an encoded cost array.  Per-link
+    conflict components are recovered as ``(encoded - 1.0) / scale`` —
+    exact, because the encoded value is the integer
+    ``conflict * scale + 1`` and both factors are exactly
+    representable — then summed in route order like the object path."""
+    total = 0.0
+    q_links = 0
+    for link_id in route.link_ids:
+        value = (costs[link_id] - 1.0) / scale
+        total += value
+        if value >= Q_PENALTY:
+            q_links += 1
+    return total, total - q_links * Q_PENALTY, q_links
+
+
+def _traced_flat_search(
+    scheme: RoutingScheme,
+    query: RouteQuery,
+    costs: Sequence[float],
+    scale: Optional[float],
+    name: str,
+    detail: bool = False,
+    unit: bool = False,
+    **tags,
+):
+    """:func:`_traced_search` for the compiled path — same span names
+    and tags, with the detail breakdown read off the cost array
+    (``scale is None`` for primary searches, whose single-component
+    cost has no breakdown to report)."""
+    trace = scheme.trace
+    if trace is None:
+        return _flat_search(scheme, query, costs, unit=unit)
+    with trace.span(name, category="routing", **tags) as span:
+        route = _flat_search(scheme, query, costs, unit=unit)
+        if route is None:
+            span.tag(found=False)
+        else:
+            span.tag(found=True, hops=len(route.link_ids))
+            if detail and trace.detail and scale is not None:
+                total, conflict, q_links = _cost_breakdown_flat(
+                    costs, route, scale
+                )
+                span.tag(
+                    cost=round(total, 6),
+                    conflict=round(conflict, 6),
+                    q_links=q_links,
+                )
+    return route
+
+
 class LinkStateScheme(RoutingScheme):
     """Base for schemes that route from the link-state database."""
 
-    def __init__(self, num_backups: int = 1) -> None:
+    def __init__(self, num_backups: int = 1, kernel: str = "auto") -> None:
         super().__init__()
         if num_backups < 1:
             raise ValueError(
                 "num_backups must be >= 1, got {}".format(num_backups)
             )
         self.num_backups = num_backups
+        self.kernel = kernel
 
     @abc.abstractmethod
     def backup_cost(
@@ -120,13 +208,24 @@ class LinkStateScheme(RoutingScheme):
     # ------------------------------------------------------------------
     def plan(self, query: RouteQuery) -> RoutePlan:
         ctx = self.context
-        primary = _traced_search(
-            self, query, primary_link_cost(ctx.database, query.bw_req),
-            "route.primary_search",
-        )
+        compiled = self.resolved_kernel() == "compiled"
+        if compiled:
+            primary = _traced_flat_search(
+                self,
+                query,
+                ctx.database.kernel_arrays().primary_costs(query.bw_req),
+                None,
+                "route.primary_search",
+                unit=True,
+            )
+        else:
+            primary = _traced_search(
+                self, query, primary_link_cost(ctx.database, query.bw_req),
+                "route.primary_search",
+            )
         if primary is None:
             return RoutePlan(note="no bandwidth-feasible primary within QoS")
-        backups = self._plan_backups(query, primary)
+        backups = self._plan_backups(query, primary, compiled=compiled)
         if not backups:
             return RoutePlan(primary=primary, note="no backup route")
         return RoutePlan(
@@ -138,6 +237,19 @@ class LinkStateScheme(RoutingScheme):
     def plan_backup(self, query: RouteQuery, primary: Route) -> Optional[Route]:
         """Single-backup search against an established primary (the
         reconfiguration entry point)."""
+        if self.resolved_kernel() == "compiled":
+            costs, scale = self._compiled_backup_costs(
+                query, primary.lset, primary.lset
+            )
+            return _traced_flat_search(
+                self,
+                query,
+                costs,
+                scale,
+                "route.backup_search",
+                detail=True,
+                reconfigure=True,
+            )
         return _traced_search(
             self,
             query,
@@ -147,21 +259,52 @@ class LinkStateScheme(RoutingScheme):
             reconfigure=True,
         )
 
-    def _plan_backups(self, query: RouteQuery, primary: Route) -> List[Route]:
+    def _compiled_backup_costs(self, query, primary_lset, avoid_lset):
+        """One batch cost build for a backup search: the database's
+        compiled tables evaluate this scheme's conflict term for every
+        link at once, encoded at the hop scale of this query's search
+        space."""
+        scale = encode_scale(self.context.network, query.max_hops)
+        costs = self.context.database.kernel_arrays().backup_costs(
+            self.compiled_conflict,
+            query.bw_req,
+            primary_lset,
+            avoid_lset,
+            scale,
+        )
+        return costs, scale
+
+    def _plan_backups(
+        self, query: RouteQuery, primary: Route, compiled: bool = False
+    ) -> List[Route]:
         backups: List[Route] = []
         avoid = set(primary.lset)
         seen = {primary.lset}
         for index in range(self.num_backups):
-            route = _traced_search(
-                self,
-                query,
-                self.backup_cost(
-                    query.bw_req, primary.lset, frozenset(avoid)
-                ),
-                "route.backup_search",
-                detail=True,
-                backup_index=index,
-            )
+            if compiled:
+                costs, scale = self._compiled_backup_costs(
+                    query, primary.lset, frozenset(avoid)
+                )
+                route = _traced_flat_search(
+                    self,
+                    query,
+                    costs,
+                    scale,
+                    "route.backup_search",
+                    detail=True,
+                    backup_index=index,
+                )
+            else:
+                route = _traced_search(
+                    self,
+                    query,
+                    self.backup_cost(
+                        query.bw_req, primary.lset, frozenset(avoid)
+                    ),
+                    "route.backup_search",
+                    detail=True,
+                    backup_index=index,
+                )
             if route is None or route.lset in seen:
                 break
             backups.append(route)

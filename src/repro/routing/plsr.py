@@ -30,6 +30,9 @@ class PLSRScheme(LinkStateScheme):
     """
 
     name = "P-LSR"
+    #: ``backup_cost`` below is exactly the APLV-L1 term the compiled
+    #: kernel evaluates in batch (see :mod:`repro.kernels`).
+    compiled_conflict = "plsr"
 
     def backup_cost(
         self,

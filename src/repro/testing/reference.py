@@ -180,6 +180,10 @@ class ReferenceDatabase(LinkStateDatabase):
     ground-truth decision.
     """
 
+    #: Rebuild-per-read semantics cannot be mirrored into flat tables;
+    #: schemes routing from this database always take the object path.
+    supports_compiled_kernel = False
+
     def __init__(self, state) -> None:
         super().__init__(state, live=True)
 
@@ -225,8 +229,13 @@ def make_reference_service(service: DRTPService) -> DRTPService:
     shadow.state.unsubscribe(shadow.database._mark_dirty)
     shadow.database = ReferenceDatabase(shadow.state)
     # Instance-attribute functions shadow the class staticmethod hooks
-    # without binding, so the naive searches slot straight in.
+    # without binding, so the naive searches slot straight in.  The
+    # kernel selector is pinned to the object path as well — belt and
+    # braces on top of resolved_kernel()'s hook-override fallback and
+    # the reference database's compiled-kernel opt-out, so the shadow
+    # can never route around the naive searches.
     scheme.search_unbounded = naive_shortest_path
     scheme.search_bounded = naive_bounded_shortest_path
+    scheme.kernel = "object"
     scheme.bind(RoutingContext(service.network, shadow.state, shadow.database))
     return shadow

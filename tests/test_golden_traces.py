@@ -8,11 +8,22 @@ committed JSONL fixture.  Any refactor that silently changes a routing
 decision, a tie-break, an activation outcome, or event ordering fails
 here with the first differing event.
 
+Every fixture is replayed under both routing kernels: the object fast
+path and, for the schemes that declare a compiled conflict term, the
+array-compiled kernel (``kernel="compiled"``) — one committed trace,
+two engines, byte-identical output.  A second replay family installs a
+*singleton* SRLG assignment (one risk group per link, the paper's
+fault model) and must reproduce the same fixtures byte for byte: group
+aggregation over singletons degenerates to the per-link terms on both
+kernels.
+
 Regenerating fixtures (after an *intentional* behavior change)::
 
     REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
 
-then review the fixture diff like any other code change.
+then review the fixture diff like any other code change.  Fixtures
+regenerate only from the object-kernel replay — the compiled kernel is
+always held to the object path's output, never the other way around.
 """
 
 import json
@@ -32,10 +43,21 @@ from repro.simulation import (
 from repro.simulation.arrivals import HoldingTimeDistribution
 from repro.simulation.scenario import LinkEvent
 from repro.topology import mesh_network
+from repro.topology.srlg import RiskGroupSet
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 SCHEMES = ("P-LSR", "D-LSR", "BF")
+
+#: Kernels each scheme's fixture replays under.  BF's flooding planner
+#: has no compiled equivalent, so its trace pins the object path only.
+SCHEME_KERNELS = [
+    (scheme_name, kernel)
+    for scheme_name in SCHEMES
+    for kernel in (
+        ("object",) if scheme_name == "BF" else ("object", "compiled")
+    )
+]
 
 
 def golden_path(scheme_name: str) -> Path:
@@ -44,7 +66,9 @@ def golden_path(scheme_name: str) -> Path:
     )
 
 
-def run_traced_scenario(scheme_name: str) -> Tracer:
+def run_traced_scenario(
+    scheme_name: str, kernel: str = "object", singleton_srlg: bool = False
+) -> Tracer:
     """One deterministic replay: 4x4 mesh, seeded arrivals, one
     scripted mid-run link failure and repair."""
     net = mesh_network(4, 4, capacity=8.0)
@@ -63,9 +87,12 @@ def run_traced_scenario(scheme_name: str) -> Tracer:
          LinkEvent(time=90.0, link_id=5, action="repair")]
     )
     tracer = Tracer()
-    service = TracingService(
-        DRTPService(net, make_scheme(scheme_name)), tracer
-    )
+    scheme = make_scheme(scheme_name)
+    scheme.kernel = kernel
+    inner = DRTPService(net, scheme)
+    if singleton_srlg:
+        inner.state.install_risk_groups(RiskGroupSet.singleton(net))
+    service = TracingService(inner, tracer)
     simulator = ScenarioSimulator(service, scenario, check_invariants=True)
     simulator.run()
     return tracer
@@ -75,15 +102,7 @@ def serialize(tracer: Tracer) -> str:
     return "".join(event.to_json() + "\n" for event in tracer)
 
 
-@pytest.mark.parametrize("scheme_name", SCHEMES)
-def test_golden_trace(scheme_name):
-    tracer = run_traced_scenario(scheme_name)
-    actual = serialize(tracer)
-    path = golden_path(scheme_name)
-    if os.environ.get("REGEN_GOLDEN"):
-        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-        path.write_text(actual)
-        pytest.skip("regenerated {}".format(path.name))
+def _diff_against_golden(actual: str, path: Path) -> None:
     assert path.exists(), (
         "missing golden fixture {}; run with REGEN_GOLDEN=1 to create "
         "it".format(path.name)
@@ -103,6 +122,34 @@ def test_golden_trace(scheme_name):
                 len(actual_lines), len(expected_lines)
             )
         )
+
+
+@pytest.mark.parametrize("scheme_name,kernel", SCHEME_KERNELS)
+def test_golden_trace(scheme_name, kernel):
+    actual = serialize(run_traced_scenario(scheme_name, kernel=kernel))
+    path = golden_path(scheme_name)
+    if os.environ.get("REGEN_GOLDEN"):
+        if kernel != "object":
+            pytest.skip(
+                "fixtures regenerate from the object-kernel replay only"
+            )
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+        pytest.skip("regenerated {}".format(path.name))
+    _diff_against_golden(actual, path)
+
+
+@pytest.mark.parametrize("scheme_name,kernel", SCHEME_KERNELS)
+def test_golden_trace_singleton_srlg(scheme_name, kernel):
+    """With one risk group per link (the paper's fault model), group
+    aggregation must collapse to the per-link terms: the replay — on
+    either kernel — reproduces the no-SRLG fixture byte for byte."""
+    if os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("fixtures regenerate from the no-SRLG object replay")
+    actual = serialize(
+        run_traced_scenario(scheme_name, kernel=kernel, singleton_srlg=True)
+    )
+    _diff_against_golden(actual, golden_path(scheme_name))
 
 
 @pytest.mark.parametrize("scheme_name", SCHEMES)
