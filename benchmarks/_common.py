@@ -14,6 +14,7 @@ recorded in EXPERIMENTS.md are regenerable artifacts.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Sequence, Tuple
 
@@ -33,6 +34,40 @@ BENCH_SCALE = QUICK_SCALE
 BENCH_SEED = 7
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def cpu_info() -> Dict[str, int]:
+    """How much parallelism this host actually offers.
+
+    Multi-process benchmarks must archive this next to their numbers:
+    a 1.7x-at-2-workers gate is meaningless on a 1-CPU container, and
+    silently green numbers from an unknown host are worse than a
+    recorded skip.  ``available`` honours the scheduling affinity mask
+    (containers often restrict it below ``os.cpu_count()``).
+    """
+    total = os.cpu_count() or 1
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available = total
+    return {"cpu_count": total, "cpu_available": available}
+
+
+def pin_process_to_one_cpu(pid: int) -> bool:
+    """Pin ``pid`` to a single CPU; True when the pin actually took.
+
+    The single-process arm of a scaling benchmark must not silently
+    benefit from kernel threads or the asyncio event loop drifting to
+    a second core — the speedup ratio it anchors would then understate
+    the cluster.  Best-effort: returns False where affinity control is
+    unavailable (non-Linux) so callers can record honest metadata.
+    """
+    try:
+        cpus = os.sched_getaffinity(pid)
+        os.sched_setaffinity(pid, {min(cpus)})
+        return True
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return False
 
 
 def record(name: str, text: str) -> None:

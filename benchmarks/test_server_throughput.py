@@ -28,7 +28,7 @@ from repro.server import (
 )
 from repro.topology import mesh_network
 
-from _common import BENCH_SEED, once, record
+from _common import BENCH_SEED, cpu_info, once, pin_process_to_one_cpu, record
 
 ROWS = COLS = 16
 CAPACITY = 32.0
@@ -61,6 +61,9 @@ def _serve_and_measure(tmp_sock):
         text=True,
     )
     try:
+        # The claim is single-core throughput: pin the server so a
+        # multi-core host cannot quietly flatter the number.
+        pinned = pin_process_to_one_cpu(serve.pid)
         deadline = time.monotonic() + 30
         while not Path(tmp_sock).exists():
             assert serve.poll() is None, serve.stdout.read()
@@ -78,7 +81,7 @@ def _serve_and_measure(tmp_sock):
         reference = run_sequential_reference(
             DRTPService(network, PLSRScheme()), timeline
         )
-        return report, reference
+        return report, reference, pinned
     finally:
         serve.terminate()
         serve.communicate(timeout=30)
@@ -86,7 +89,7 @@ def _serve_and_measure(tmp_sock):
 
 def test_admission_throughput_gate(benchmark, tmp_path):
     sock = str(tmp_path / "bench.sock")
-    report, reference = once(
+    report, reference, pinned = once(
         benchmark, lambda: _serve_and_measure(sock)
     )
 
@@ -96,6 +99,8 @@ def test_admission_throughput_gate(benchmark, tmp_path):
         "online admission throughput (16x16 mesh, P-LSR, live server)\n"
         + json.dumps(
             {
+                **cpu_info(),
+                "server_pinned_to_one_cpu": pinned,
                 "admissions": report.admits,
                 "events": report.events,
                 "wall_seconds": round(report.wall_seconds, 3),

@@ -1,0 +1,82 @@
+"""Sharded multi-process control plane with replicated link state.
+
+The single-writer asyncio server (PR 4) tops out around ~585
+admissions/s on a core because routing — the expensive half of every
+admission — serializes behind the mutation queue.  This package splits
+the two halves across processes:
+
+* :mod:`repro.cluster.replica` — epoch-numbered snapshots and
+  incremental deltas of the authoritative
+  :class:`~repro.network.state.NetworkState`, plus the
+  :class:`~repro.cluster.replica.ReplicaDatabase` shards plan against
+  (sequence-numbered, gap-detected, snapshot resync on loss);
+* :mod:`repro.cluster.authority` — the deterministic epoch schedule
+  and the single commit authority that validates shard plans against
+  live truth before reserving (no double-spend, ever);
+* :mod:`repro.cluster.worker` / :mod:`repro.cluster.pool` — the shard
+  processes and their lifecycle (generation tags, SIGTERM drain,
+  respawn under the campaign retry policy);
+* :mod:`repro.cluster.engine` — the router-side sequencer/dispatcher
+  that keeps replicas convergent, replans in-flight admissions inline
+  when a shard dies, and commits strictly in sequence order;
+* :mod:`repro.cluster.server` — the NDJSON frontend
+  (``repro serve --workers N``);
+* :mod:`repro.cluster.reference` / :mod:`repro.cluster.oracle` — the
+  sequential replay of the same epoch discipline and the differential
+  campaign that proves a live cluster (kills included) produces an
+  identical decision trace.
+
+The design invariant everything above leans on: **an admission's plan
+is a pure function of its global sequence number and the replicated
+epoch that number maps to** — never of shard count, dispatch timing,
+or kill schedule.  That turns cross-process consistency into an exact
+equality the oracle can assert, not a statistical property.
+"""
+
+from .authority import (
+    CLUSTER_UNSAFE_SCHEMES,
+    DEFAULT_BATCH,
+    DEFAULT_LOOKAHEAD,
+    AuthorityStats,
+    EpochPlanner,
+    commit_admission,
+    epoch_for,
+    plan_is_stale,
+)
+from .engine import ClusterEngine
+from .oracle import ClusterOracleDivergence, run_cluster_oracle
+from .pool import ShardHandle, ShardPool
+from .reference import SequentialClusterAuthority, run_cluster_reference
+from .replica import (
+    DatabaseSnapshot,
+    DeltaTracker,
+    LinkStateDelta,
+    ReplicaDatabase,
+)
+from .server import ClusterControlPlaneServer
+from .worker import ShardConfig, shard_worker_main
+
+__all__ = [
+    "CLUSTER_UNSAFE_SCHEMES",
+    "DEFAULT_BATCH",
+    "DEFAULT_LOOKAHEAD",
+    "AuthorityStats",
+    "EpochPlanner",
+    "commit_admission",
+    "epoch_for",
+    "plan_is_stale",
+    "ClusterEngine",
+    "ClusterOracleDivergence",
+    "run_cluster_oracle",
+    "ShardHandle",
+    "ShardPool",
+    "SequentialClusterAuthority",
+    "run_cluster_reference",
+    "DatabaseSnapshot",
+    "DeltaTracker",
+    "LinkStateDelta",
+    "ReplicaDatabase",
+    "ClusterControlPlaneServer",
+    "ShardConfig",
+    "shard_worker_main",
+]

@@ -1,0 +1,159 @@
+"""The cluster's epoch discipline and single commit authority.
+
+Every mutating operation the router accepts gets a global sequence
+number ``seq`` in arrival order.  The authoritative state is frozen
+into epochs every :data:`DEFAULT_BATCH` commits — epoch ``j`` is the
+state after commit ``j * batch`` — and the admission at ``seq`` plans
+against the epoch view
+
+    ``epoch_for(seq) = max(0, seq // batch - lookahead + 1)``
+
+so with the default ``lookahead = 2`` the shards plan one commit group
+ahead of the group currently being committed (double buffering), and
+plans never wait on the state they race.  Crucially the schedule is a
+pure function of ``seq``: any shard, the router's inline replanner,
+and the sequential reference all compute identical plans for the same
+operation, which is what makes the cluster differential oracle a
+hard equality check instead of a tolerance band.
+
+The commit authority is the only writer.  It applies operations in
+``seq`` order against the one live :class:`~repro.core.service.DRTPService`
+and *validates* each shard plan before reserving: a plan whose routes
+touch a live-failed link, or whose primary no longer fits, is replanned
+on the authority's live database (counted in
+:attr:`AuthorityStats.replans`) — two shards can race the same spare
+capacity, but only the authority spends it, so double-spend is
+impossible and every divergence between the epoch view and live truth
+is repaired deterministically at the serialization point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.service import DRTPService
+from ..experiments.sweep import make_scheme
+from ..network.state import BW_EPSILON, NetworkState
+from ..routing.base import RoutePlan, RouteQuery, RoutingContext
+from ..server import ops
+from ..topology.graph import Network
+from ..topology.srlg import RiskGroupSet
+from .replica import INGEST_APPLIED, DatabaseSnapshot, LinkStateDelta, ReplicaDatabase
+
+#: Commits per epoch (the delta-capture granularity).
+DEFAULT_BATCH = 32
+
+#: How many epochs ahead of the committed boundary shards may plan.
+DEFAULT_LOOKAHEAD = 2
+
+#: Schemes whose planners carry hidden per-instance state (a shared RNG
+#: stream position) and therefore cannot be replicated across shards
+#: without changing decisions.  The cluster refuses them up front.
+CLUSTER_UNSAFE_SCHEMES = frozenset({"random"})
+
+
+def epoch_for(seq: int, batch: int, lookahead: int) -> int:
+    """The epoch view operation ``seq`` plans against (see module docs)."""
+    return max(0, seq // batch - lookahead + 1)
+
+
+@dataclass
+class AuthorityStats:
+    """What the commit authority did, for status/manifest surfaces."""
+
+    commits: int = 0
+    replans: int = 0
+
+
+def plan_is_stale(service: DRTPService, plan: RoutePlan, bw: float) -> bool:
+    """Does the epoch-view plan contradict live truth?
+
+    Two deterministic triggers: any planned route crosses a link that
+    has failed since the epoch froze, or the primary no longer fits
+    under the same ``BW_EPSILON`` feasibility test the reservation
+    would apply.  Backup bandwidth is *not* rechecked — spare
+    multiplexing means registration answers that — so a plan is only
+    replanned when committing it as-is could reserve on dead or
+    oversubscribed links.
+    """
+    if plan.primary is None:
+        return False
+    state = service.state
+    for route in (plan.primary,) + plan.all_backups:
+        for link_id in route.link_ids:
+            if state.is_link_failed(link_id):
+                return True
+    for link_id in plan.primary.link_ids:
+        if bw > state.ledger(link_id).primary_headroom() + BW_EPSILON:
+            return True
+    return False
+
+
+def commit_admission(
+    service: DRTPService,
+    args: Dict[str, Any],
+    plan: RoutePlan,
+    stats: AuthorityStats,
+) -> Dict[str, Any]:
+    """Serialize one admission through the authority.
+
+    The shard's plan is validated against live state, replanned on the
+    authority's own (live) scheme when stale, then committed through
+    the same :mod:`repro.server.ops` result shaping the single-process
+    server uses.  Both the cluster engine and the sequential reference
+    call exactly this function, so their decision traces can only
+    diverge if the plans they feed it diverge.
+    """
+    if plan_is_stale(service, plan, args["bw"]):
+        stats.replans += 1
+        plan = service.scheme.plan(
+            RouteQuery(
+                args["source"], args["destination"], args["bw"], max_hops=None
+            )
+        )
+    stats.commits += 1
+    return ops.apply_admit_planned(service, args, plan)
+
+
+class EpochPlanner:
+    """A routing scheme bound to a :class:`ReplicaDatabase` advancing
+    under the cluster's epoch discipline.
+
+    This is the planning half of an admission shard, reused verbatim
+    in three places: inside every worker process, inside the router
+    for kill-recovery replans of in-flight admissions, and inside the
+    sequential reference — one implementation, one decision function.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        scheme_name: str,
+        snapshot: DatabaseSnapshot,
+        risk_groups: Optional[RiskGroupSet] = None,
+    ) -> None:
+        self.replica = ReplicaDatabase(snapshot, risk_groups=risk_groups)
+        self.scheme = make_scheme(scheme_name)
+        # The context's NetworkState is a blank stand-in: schemes read
+        # exclusively through the database (the replica); only the
+        # topology and distance tables come from the context.
+        self.scheme.bind(
+            RoutingContext(network, NetworkState(network), database=self.replica)
+        )
+
+    def advance_to(self, epoch: int, deltas: Dict[int, LinkStateDelta]) -> None:
+        """Ingest buffered deltas until the replica reaches ``epoch``."""
+        while self.replica.epoch < epoch:
+            delta = deltas[self.replica.epoch + 1]
+            verdict = self.replica.ingest(delta)
+            if verdict != INGEST_APPLIED:
+                raise RuntimeError(
+                    "replica at epoch {} refused delta {}: {}".format(
+                        self.replica.epoch, delta.epoch, verdict
+                    )
+                )
+
+    def plan(self, source: int, destination: int, bw: float) -> RoutePlan:
+        """Plan one admission against the replica's current epoch."""
+        return self.scheme.plan(RouteQuery(source, destination, bw, max_hops=None))

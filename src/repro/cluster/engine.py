@@ -1,0 +1,559 @@
+"""The router's commit-side engine: sequencing, dispatch, commit.
+
+One dedicated thread owns the whole mutation pipeline:
+
+* **intake** — pre-validated mutations arrive from the asyncio front
+  end in arrival order and receive global sequence numbers;
+* **dispatch** — admissions fan out round-robin to the shard pool,
+  each preceded on its shard's FIFO queue by exactly the deltas (or a
+  full snapshot, when the shard is fresh or lagging behind delta
+  retention) that bring the replica to the op's epoch view;
+* **commit** — operations apply to the one live
+  :class:`~repro.core.service.DRTPService` strictly in sequence order
+  through the :mod:`repro.cluster.authority` commit functions, and
+  every ``batch`` commits the :class:`~repro.cluster.replica.DeltaTracker`
+  freezes the next epoch's delta.
+
+Kill-safety: when a shard dies (or drains on SIGTERM), the pool
+respawns it and the engine replans every in-flight admission inline on
+its own :class:`~repro.cluster.authority.EpochPlanner` — the identical
+plan the shard would have produced, because plans are pure functions
+of ``(epoch view, request)``.  Late replies from the dead generation
+are discarded by tag.  This is why a SIGKILL mid-batch cannot change
+the decision trace, only the latency.
+
+The engine thread and the asyncio thread share the service through
+:attr:`ClusterEngine.lock`; reads (status/metrics) take it, commits
+take it, so scrapes always observe a commit boundary.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+from collections import deque
+
+from ..core.service import DRTPService
+from ..observability import read_ndjson
+from ..server import ops
+from ..topology.srlg import RiskGroupSet
+from .authority import (
+    CLUSTER_UNSAFE_SCHEMES,
+    DEFAULT_BATCH,
+    DEFAULT_LOOKAHEAD,
+    AuthorityStats,
+    EpochPlanner,
+    commit_admission,
+    epoch_for,
+)
+from .pool import ShardHandle, ShardPool
+from .replica import DatabaseSnapshot, DeltaTracker, LinkStateDelta
+from .worker import ShardConfig
+
+#: Inbound sentinel asking the engine to drain and stop.
+_DRAIN = object()
+
+
+@dataclass
+class _PendingOp:
+    """One sequenced mutation between intake and commit."""
+
+    seq: int
+    kind: str
+    args: Dict[str, Any]
+    future: Any
+    op_span: Any = None
+    plan: Any = None
+    ready: bool = False
+
+
+class ClusterEngine:
+    """Sequencer, dispatcher and commit authority for one cluster."""
+
+    def __init__(
+        self,
+        service: DRTPService,
+        scheme_name: str,
+        workers: int,
+        batch: int = DEFAULT_BATCH,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        risk_groups: Optional[RiskGroupSet] = None,
+        registry=None,
+        trace=None,
+        server_stats=None,
+        manifest_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        retry_policy=None,
+    ) -> None:
+        if scheme_name in CLUSTER_UNSAFE_SCHEMES:
+            raise ValueError(
+                "scheme {!r} keeps per-instance planner state (an RNG "
+                "stream) and cannot be replicated across shards".format(
+                    scheme_name
+                )
+            )
+        if batch <= 0 or lookahead <= 0:
+            raise ValueError("batch and lookahead must be positive")
+        if service.qos_slack is not None:
+            raise ValueError(
+                "cluster mode plans on replicas with unbounded QoS routes; "
+                "qos_slack is not supported"
+            )
+        self.service = service
+        self.scheme_name = scheme_name
+        self.batch = batch
+        self.lookahead = lookahead
+        self.risk_groups = risk_groups
+        self.trace = trace
+        self.trace_dir = trace_dir
+        self.manifest_dir = manifest_dir
+        self.stats = AuthorityStats()
+        self.lock = threading.RLock()
+        self.inbound: "queue.Queue" = queue.Queue()
+        self.requeues = 0
+        self.inline_plans = 0
+        self.stale_results = 0
+        self.deltas_sent = 0
+        self.snapshots_sent = 0
+        self.shard_reports: Dict[int, Dict[str, Any]] = {}
+        self._server_stats = server_stats
+        self._loop = None
+        self._thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._next_seq = 0
+        self._commit_seq = 0
+        self._captured = 0
+        self._pending: Dict[int, _PendingOp] = {}
+        self._dispatch_queue: Deque[int] = deque()
+        self._outstanding: Dict[int, ShardHandle] = {}
+        self._admit_rr = 0
+        self._tracker = DeltaTracker(service.state)
+        self._deltas: Dict[int, LinkStateDelta] = {}
+        self._planner = EpochPlanner(
+            service.network,
+            scheme_name,
+            DatabaseSnapshot.capture(service.state, 0),
+            risk_groups=risk_groups,
+        )
+        self._pool = ShardPool(
+            self._shard_config, workers, retry_policy=retry_policy
+        )
+        self._bind_metrics(registry)
+
+    def _shard_config(self, worker_id: int, generation: int) -> ShardConfig:
+        return ShardConfig(
+            worker_id=worker_id,
+            generation=generation,
+            scheme_name=self.scheme_name,
+            network=self.service.network,
+            risk_groups=self.risk_groups,
+            manifest_dir=self.manifest_dir,
+            trace_dir=self.trace_dir,
+        )
+
+    def _bind_metrics(self, registry) -> None:
+        if registry is None:
+            self._m_plans = self._m_requeues = self._m_resyncs = None
+            self._m_replans = self._m_restarts = None
+            return
+        self._m_plans = registry.counter(
+            "drtp_cluster_plans_total",
+            "admissions planned by each shard", labels=("shard",),
+        )
+        self._m_requeues = registry.counter(
+            "drtp_cluster_requeues_total",
+            "in-flight plans replanned inline after a shard death",
+            labels=("shard",),
+        )
+        self._m_resyncs = registry.counter(
+            "drtp_cluster_resyncs_total",
+            "full-snapshot resyncs sent to a shard", labels=("shard",),
+        )
+        self._m_restarts = registry.counter(
+            "drtp_cluster_shard_restarts_total",
+            "shard processes respawned after death", labels=("shard",),
+        )
+        self._m_replans = registry.counter(
+            "drtp_cluster_authority_replans_total",
+            "stale shard plans replanned live at the commit authority",
+        )
+        registry.gauge(
+            "drtp_cluster_epoch",
+            "newest replicated link-state epoch",
+        ).collect_with(lambda: self._captured)
+        registry.gauge(
+            "drtp_cluster_inflight_plans",
+            "admissions dispatched to shards and not yet committed",
+        ).collect_with(lambda: len(self._outstanding))
+
+    # ------------------------------------------------------------------
+    # Front-end API (asyncio thread)
+    # ------------------------------------------------------------------
+
+    def bind_loop(self, loop) -> None:
+        """Attach the asyncio loop futures must be resolved on."""
+        self._loop = loop
+
+    def start(self) -> None:
+        """Launch the engine thread."""
+        self._thread = threading.Thread(
+            target=self._run, name="cluster-engine", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, kind: str, args: Dict[str, Any], future, op_span) -> None:
+        """Enqueue one pre-validated mutation (called in arrival order)."""
+        self.inbound.put(_PendingOp(
+            seq=-1, kind=kind, args=args, future=future, op_span=op_span,
+        ))
+
+    def drain_and_stop(self) -> None:
+        """Commit everything submitted, stop the shards, merge traces.
+
+        Blocking — the server calls it from an executor thread."""
+        self.inbound.put(_DRAIN)
+        if self._thread is not None:
+            self._thread.join()
+        self._ingest_shard_traces()
+
+    def outstanding_count(self) -> int:
+        """Plans currently dispatched and unanswered (test/oracle hook)."""
+        return len(self._outstanding)
+
+    def shard_pids(self) -> List[int]:
+        """Live shard process ids, by shard slot."""
+        return [shard.process.pid for shard in self._pool.shards]
+
+    def status(self) -> Dict[str, Any]:
+        """The cluster section of the status op / server manifest."""
+        shards = []
+        for shard in self._pool.shards:
+            entry = {
+                "shard": shard.worker_id,
+                "pid": shard.process.pid,
+                "generation": shard.generation,
+                "alive": shard.alive,
+                "planned": shard.planned,
+                "requeued": shard.requeued,
+                "resyncs": shard.resyncs,
+                "restarts": shard.restarts,
+            }
+            report = self.shard_reports.get(shard.worker_id)
+            if report is not None:
+                entry["final_report"] = report
+            shards.append(entry)
+        return {
+            "workers": len(self._pool.shards),
+            "batch": self.batch,
+            "lookahead": self.lookahead,
+            "epoch": self._captured,
+            "committed": self._commit_seq,
+            "replans": self.stats.replans,
+            "requeues": self.requeues,
+            "inline_plans": self.inline_plans,
+            "stale_results": self.stale_results,
+            "deltas_sent": self.deltas_sent,
+            "snapshots_sent": self.snapshots_sent,
+            "shards": shards,
+        }
+
+    # ------------------------------------------------------------------
+    # Engine thread
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while True:
+                progressed = self._drain_inbound()
+                progressed |= self._reap_and_requeue()
+                progressed |= self._dispatch()
+                progressed |= self._collect()
+                progressed |= self._commit()
+                self._advance_floor()
+                if (
+                    self._draining
+                    and not self._pending
+                    and self.inbound.empty()
+                ):
+                    break
+                if not progressed:
+                    self._idle_wait()
+        finally:
+            self._shutdown_pool()
+
+    def _drain_inbound(self, block: bool = False) -> bool:
+        progressed = False
+        while True:
+            try:
+                if block and not progressed:
+                    item = self.inbound.get(timeout=0.1)
+                else:
+                    item = self.inbound.get_nowait()
+            except queue.Empty:
+                return progressed
+            progressed = True
+            if item is _DRAIN:
+                self._draining = True
+                continue
+            item.seq = self._next_seq
+            self._next_seq += 1
+            if item.kind == "admit":
+                self._dispatch_queue.append(item.seq)
+            else:
+                item.ready = True
+            self._pending[item.seq] = item
+
+    def _reap_and_requeue(self) -> bool:
+        dead = self._pool.reap()
+        if not dead:
+            return False
+        if self._m_restarts is not None:
+            for shard in dead:
+                self._m_restarts.inc(1, str(shard.worker_id))
+        self._requeue_outstanding()
+        return True
+
+    def _requeue_outstanding(self) -> None:
+        """Replan every in-flight admission inline, in seq order.
+
+        Called when any shard dies: the dead shard's plans are gone,
+        and replanning the *other* shards' in-flight plans too keeps
+        the inline planner's epoch monotone across staggered deaths
+        (their late replies are then dropped by the stale-result
+        check).  The plans are identical either way."""
+        for seq in sorted(self._outstanding):
+            owner = self._outstanding.pop(seq)
+            op = self._pending[seq]
+            target = epoch_for(seq, self.batch, self.lookahead)
+            self._planner.advance_to(target, self._deltas)
+            op.plan = self._planner.plan(
+                op.args["source"], op.args["destination"], op.args["bw"]
+            )
+            op.ready = True
+            self.requeues += 1
+            slot = next(
+                (
+                    shard
+                    for shard in self._pool.shards
+                    if shard.worker_id == owner.worker_id
+                ),
+                None,
+            )
+            if slot is not None:
+                slot.requeued += 1
+            if self._m_requeues is not None:
+                self._m_requeues.inc(1, str(owner.worker_id))
+
+    def _pick_slot(self) -> Optional[ShardHandle]:
+        live = self._pool.live_shards()
+        if not live:
+            return None
+        slot = live[self._admit_rr % len(live)]
+        self._admit_rr += 1
+        return slot
+
+    def _dispatch(self) -> bool:
+        progressed = False
+        while self._dispatch_queue:
+            seq = self._dispatch_queue[0]
+            target = epoch_for(seq, self.batch, self.lookahead)
+            if target > self._captured:
+                break  # epochs are seq-monotone; later ops wait too
+            self._dispatch_queue.popleft()
+            op = self._pending[seq]
+            slot = self._pick_slot()
+            if slot is None:
+                # Every shard is gone (retry policy exhausted): the
+                # router degrades to planning inline, still correct.
+                self._planner.advance_to(target, self._deltas)
+                op.plan = self._planner.plan(
+                    op.args["source"], op.args["destination"], op.args["bw"]
+                )
+                op.ready = True
+                self.inline_plans += 1
+            else:
+                self._sync_slot(slot, target)
+                slot.queue.put(("plan", seq, target, op.args))
+                self._outstanding[seq] = slot
+            progressed = True
+        return progressed
+
+    def _sync_slot(self, slot: ShardHandle, target: int) -> None:
+        """Put the deltas (or a snapshot) bringing ``slot`` to
+        ``target`` on its FIFO queue, ahead of the plan message."""
+        if slot.last_epoch is not None and slot.last_epoch >= target:
+            return
+        start = slot.last_epoch
+        if start is None or start < self._planner.replica.epoch:
+            # Fresh shard, or lagging behind delta retention: resync.
+            slot.queue.put(("snapshot", self._snapshot_at(target)))
+            self.snapshots_sent += 1
+            if start is not None:
+                slot.resyncs += 1
+                if self._m_resyncs is not None:
+                    self._m_resyncs.inc(1, str(slot.worker_id))
+            slot.last_epoch = target
+            return
+        while slot.last_epoch < target:
+            slot.queue.put(("delta", self._deltas[slot.last_epoch + 1]))
+            slot.last_epoch += 1
+            self.deltas_sent += 1
+
+    def _snapshot_at(self, target: int) -> DatabaseSnapshot:
+        clone = self._planner.replica.clone()
+        while clone.epoch < target:
+            clone.ingest(self._deltas[clone.epoch + 1])
+        return clone.snapshot()
+
+    def _collect(self, block: bool = False) -> bool:
+        progressed = False
+        while True:
+            try:
+                if block and not progressed:
+                    message = self._pool.results.get(timeout=0.05)
+                else:
+                    message = self._pool.results.get_nowait()
+            except queue.Empty:
+                return progressed
+            progressed = True
+            self._handle_result(message)
+
+    def _handle_result(self, message) -> None:
+        kind = message[0]
+        if kind == "planned":
+            _, worker_id, generation, seq, plan = message
+            slot = self._pool.find(worker_id, generation)
+            owner = self._outstanding.get(seq)
+            if slot is None or owner is not slot:
+                self.stale_results += 1
+                return
+            del self._outstanding[seq]
+            op = self._pending[seq]
+            op.plan = plan
+            op.ready = True
+            slot.planned += 1
+            if self._m_plans is not None:
+                self._m_plans.inc(1, str(worker_id))
+        elif kind == "desync":
+            # A shard refused a dispatch (should be unreachable under
+            # FIFO delivery): force a snapshot resync and replan its
+            # in-flight admissions inline so nothing hangs.
+            _, worker_id, generation = message
+            slot = self._pool.find(worker_id, generation)
+            if slot is not None:
+                slot.last_epoch = None
+            self._requeue_outstanding()
+        elif kind == "stopped":
+            _, worker_id, generation, report = message
+            self.shard_reports[worker_id] = report
+
+    def _commit(self) -> bool:
+        progressed = False
+        while True:
+            op = self._pending.get(self._commit_seq)
+            if op is None or not op.ready:
+                break
+            del self._pending[self._commit_seq]
+            self._apply_and_resolve(op)
+            self._commit_seq += 1
+            if self._commit_seq % self.batch == 0:
+                epoch = self._commit_seq // self.batch
+                self._deltas[epoch] = self._tracker.capture(epoch)
+                self._captured = epoch
+            progressed = True
+        if progressed and self._server_stats is not None:
+            self._server_stats.batches += 1
+        return progressed
+
+    def _apply_and_resolve(self, op: _PendingOp) -> None:
+        result = None
+        error: Optional[BaseException] = None
+        span = (
+            self.trace.span(
+                "server.apply", category="server",
+                parent=op.op_span, op=op.kind, seq=op.seq,
+            )
+            if self.trace is not None
+            else nullcontext()
+        )
+        with self.lock, span:
+            try:
+                result = self._apply(op)
+            except Exception as exc:  # surfaced as ERR_INTERNAL upstream
+                error = exc
+        loop = self._loop
+
+        def _finish(future=op.future, result=result, error=error):
+            if future.done():
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+        if loop is not None:
+            loop.call_soon_threadsafe(_finish)
+        else:  # headless engine (tests drive it without a server)
+            _finish()
+
+    def _apply(self, op: _PendingOp) -> Dict[str, Any]:
+        if op.kind == "admit":
+            return commit_admission(
+                self.service, op.args, op.plan, self.stats
+            )
+        if op.kind == "release":
+            return ops.apply_release(self.service, op.args["connection"])
+        if op.kind == "fail_link":
+            return ops.apply_fail_link(self.service, op.args["link"])
+        if op.kind == "repair_link":
+            return ops.apply_repair_link(self.service, op.args["link"])
+        raise ValueError("unexpected mutation kind {!r}".format(op.kind))
+
+    def _advance_floor(self) -> None:
+        """Eagerly advance the inline planner to the lowest epoch any
+        future dispatch or replan can need, then drop passed deltas —
+        this bounds delta retention to the pipeline depth."""
+        target = epoch_for(self._commit_seq, self.batch, self.lookahead)
+        if target > self._planner.replica.epoch:
+            self._planner.advance_to(target, self._deltas)
+        floor = self._planner.replica.epoch
+        for epoch in [e for e in self._deltas if e <= floor]:
+            del self._deltas[epoch]
+
+    def _idle_wait(self) -> None:
+        if self._outstanding:
+            self._collect(block=True)
+        else:
+            self._drain_inbound(block=True)
+
+    def _shutdown_pool(self) -> None:
+        self._pool.shutdown()
+        while True:
+            try:
+                message = self._pool.results.get_nowait()
+            except queue.Empty:
+                break
+            except (OSError, ValueError):  # pragma: no cover - closed queue
+                break
+            if message[0] == "stopped":
+                self.shard_reports[message[1]] = message[3]
+        self._tracker.close()
+
+    def _ingest_shard_traces(self) -> None:
+        """Stitch the shard NDJSON exports into the router's collector
+        (each shard becomes a ``pid`` lane in the merged trace)."""
+        if self.trace is None or self.trace_dir is None:
+            return
+        for path in sorted(Path(self.trace_dir).glob("shard-*.ndjson")):
+            try:
+                worker_id = int(path.stem.split("-")[1])
+            except (IndexError, ValueError):  # pragma: no cover
+                continue
+            meta, spans = read_ndjson(path)
+            self.trace.ingest(
+                spans, pid=worker_id + 1, dropped=meta.get("dropped", 0)
+            )

@@ -1,0 +1,157 @@
+"""Shard process lifecycle: spawn, reap, respawn, shut down.
+
+The same process plumbing as the campaign
+:class:`~repro.campaign.pool.WorkerPool` — one dispatch queue per
+worker, a shared result queue, generation tags so replies from a dead
+generation are discarded, ``cancel_join_thread`` on abandoned queues —
+but for long-lived admission shards instead of run-to-completion
+jobs.  Requeue policy differs accordingly: a shard's in-flight *plans*
+are replanned inline by the router (see
+:class:`~repro.cluster.engine.ClusterEngine`), so the pool only
+manages processes, and the campaign
+:class:`~repro.faults.retry.RetryPolicy` governs how often a
+crash-looping shard slot may be respawned before it is abandoned.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..campaign.pool import DEFAULT_RETRY_POLICY, _start_method
+from ..faults.retry import RetryPolicy
+from .worker import shard_worker_main
+
+
+@dataclass
+class ShardHandle:
+    """One shard slot: the live process plus its dispatch bookkeeping."""
+
+    worker_id: int
+    generation: int
+    process: Any
+    queue: Any
+    #: Epoch of the last delta/snapshot sent; None = fresh, needs a
+    #: full snapshot before its first plan dispatch.
+    last_epoch: Optional[int] = None
+    #: Plans answered by this slot (any generation).
+    planned: int = 0
+    #: In-flight plans replanned inline after this slot died.
+    requeued: int = 0
+    #: Snapshot resyncs sent after the initial bootstrap snapshot.
+    resyncs: int = 0
+    #: Times the slot was respawned after a death.
+    restarts: int = 0
+    #: Respawn attempts charged against the retry policy.
+    attempts: int = 0
+    first_failure_at: Optional[float] = None
+    abandoned: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.abandoned and self.process.is_alive()
+
+
+class ShardPool:
+    """Spawn and supervise the admission-shard processes."""
+
+    def __init__(
+        self,
+        config_factory,
+        workers: int,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """``config_factory(worker_id, generation)`` must return the
+        :class:`~repro.cluster.worker.ShardConfig` for a (re)spawn."""
+        if workers < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self._config_factory = config_factory
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self._ctx = multiprocessing.get_context(_start_method())
+        self.results = self._ctx.Queue()
+        self.shards: List[ShardHandle] = [
+            self._spawn(worker_id, 0) for worker_id in range(workers)
+        ]
+
+    def _spawn(self, worker_id: int, generation: int) -> ShardHandle:
+        dispatch = self._ctx.Queue()
+        config = self._config_factory(worker_id, generation)
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(config, dispatch, self.results),
+            daemon=True,
+        )
+        process.start()
+        return ShardHandle(
+            worker_id=worker_id,
+            generation=generation,
+            process=process,
+            queue=dispatch,
+        )
+
+    def live_shards(self) -> List[ShardHandle]:
+        """Slots currently able to take dispatches."""
+        return [shard for shard in self.shards if shard.alive]
+
+    def reap(self) -> List[ShardHandle]:
+        """Respawn every dead slot; returns the handles that died (with
+        their pre-respawn generation) so the engine can requeue.
+
+        A slot whose respawns exhaust the retry policy is abandoned:
+        the cluster keeps serving on the remaining shards (decisions do
+        not depend on shard assignment, only throughput does).
+        """
+        dead: List[ShardHandle] = []
+        for index, shard in enumerate(self.shards):
+            if shard.abandoned or shard.process.is_alive():
+                continue
+            shard.process.join(timeout=0.1)
+            shard.queue.cancel_join_thread()
+            dead.append(shard)
+            now = time.monotonic()
+            if shard.first_failure_at is None:
+                shard.first_failure_at = now
+            attempts = shard.attempts + 1
+            if self.retry_policy.gives_up(
+                attempts, now - shard.first_failure_at
+            ):
+                shard.abandoned = True
+                continue
+            replacement = self._spawn(shard.worker_id, shard.generation + 1)
+            replacement.planned = shard.planned
+            replacement.requeued = shard.requeued
+            replacement.resyncs = shard.resyncs
+            replacement.restarts = shard.restarts + 1
+            replacement.attempts = attempts
+            replacement.first_failure_at = shard.first_failure_at
+            self.shards[index] = replacement
+        return dead
+
+    def find(self, worker_id: int, generation: int) -> Optional[ShardHandle]:
+        """The slot matching a reply's tags, or None if it moved on."""
+        for shard in self.shards:
+            if shard.worker_id == worker_id and shard.generation == generation:
+                return shard
+        return None
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Sentinel every live shard, join, terminate stragglers."""
+        for shard in self.shards:
+            if shard.alive:
+                try:
+                    shard.queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - teardown race
+                    pass
+        deadline = time.monotonic() + timeout
+        for shard in self.shards:
+            if shard.abandoned:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            shard.process.join(timeout=remaining)
+            if shard.process.is_alive():  # pragma: no cover - hung worker
+                shard.process.terminate()
+                shard.process.join(timeout=1.0)
+            shard.queue.cancel_join_thread()
+        self.results.cancel_join_thread()

@@ -1,0 +1,179 @@
+"""Sequential replay of the cluster's epoch discipline.
+
+:func:`run_cluster_reference` executes a deterministic
+:class:`~repro.server.loadgen.LoadGenerator` timeline exactly the way
+the sharded deployment does — every admission planned by an
+:class:`~repro.cluster.authority.EpochPlanner` against the replicated
+epoch view, every commit serialized through
+:func:`~repro.cluster.authority.commit_admission` — but inline, in one
+process, with no workers to kill.  Because the epoch schedule is a
+pure function of the operation sequence number, this replay and a
+live ``repro serve --workers N`` run (any N, any kill schedule) must
+produce identical decision traces; the cluster differential oracle
+asserts exactly that.
+
+The report dict is shaped like
+:func:`~repro.server.loadgen.run_sequential_reference` so the loadtest
+``--verify`` plumbing can consume either reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.errors import ConnectionStateError
+from ..core.service import DRTPService
+from ..experiments.sweep import make_scheme
+from ..server import ops
+from ..server.loadgen import TimelineEvent
+from ..topology.graph import Network
+from ..topology.srlg import RiskGroupSet
+from .authority import (
+    DEFAULT_BATCH,
+    DEFAULT_LOOKAHEAD,
+    AuthorityStats,
+    EpochPlanner,
+    commit_admission,
+    epoch_for,
+)
+from .replica import DatabaseSnapshot, DeltaTracker, LinkStateDelta
+
+
+class SequentialClusterAuthority:
+    """The commit authority driven inline: one live service, one epoch
+    planner standing in for every shard (legitimate because all shards
+    at the same epoch compute the same plan)."""
+
+    def __init__(
+        self,
+        service: DRTPService,
+        scheme_name: str,
+        batch: int = DEFAULT_BATCH,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+    ) -> None:
+        if batch <= 0 or lookahead <= 0:
+            raise ValueError("batch and lookahead must be positive")
+        self.service = service
+        self.batch = batch
+        self.lookahead = lookahead
+        self.stats = AuthorityStats()
+        self.seq = 0
+        self._tracker = DeltaTracker(service.state)
+        self._deltas: Dict[int, LinkStateDelta] = {}
+        self._planner = EpochPlanner(
+            service.network,
+            scheme_name,
+            DatabaseSnapshot.capture(service.state, 0),
+            risk_groups=service.risk_groups,
+        )
+
+    def admit(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Plan at the epoch view for this seq, commit via the authority."""
+        target = epoch_for(self.seq, self.batch, self.lookahead)
+        self._planner.advance_to(target, self._deltas)
+        plan = self._planner.plan(args["source"], args["destination"], args["bw"])
+        result = commit_admission(self.service, args, plan, self.stats)
+        self._finish_commit()
+        return result
+
+    def release(self, connection_id: int) -> Dict[str, Any]:
+        result = ops.apply_release(self.service, connection_id)
+        self._finish_commit()
+        return result
+
+    def fail_link(self, link: int) -> Dict[str, Any]:
+        result = ops.apply_fail_link(self.service, link)
+        self._finish_commit()
+        return result
+
+    def repair_link(self, link: int) -> Dict[str, Any]:
+        result = ops.apply_repair_link(self.service, link)
+        self._finish_commit()
+        return result
+
+    def _finish_commit(self) -> None:
+        self.seq += 1
+        if self.seq % self.batch == 0:
+            epoch = self.seq // self.batch
+            self._deltas[epoch] = self._tracker.capture(epoch)
+            # Deltas already behind the planner can never be re-read.
+            for old in [e for e in self._deltas if e <= self._planner.replica.epoch]:
+                del self._deltas[old]
+
+    def close(self) -> None:
+        """Detach the delta tracker from the service's state."""
+        self._tracker.close()
+
+
+def run_cluster_reference(
+    network: Network,
+    scheme_name: str,
+    timeline: Iterable[TimelineEvent],
+    batch: int = DEFAULT_BATCH,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    risk_groups: Optional[RiskGroupSet] = None,
+    service: Optional[DRTPService] = None,
+) -> Dict[str, Any]:
+    """Replay a timeline under the cluster's epoch discipline.
+
+    Returns the same report shape as
+    :func:`~repro.server.loadgen.run_sequential_reference`:
+    per-request decisions in request-id order plus summary counters,
+    with an extra ``authority`` section recording replans/commits.
+    """
+    if service is None:
+        service = DRTPService(
+            network, make_scheme(scheme_name), risk_groups=risk_groups
+        )
+    authority = SequentialClusterAuthority(
+        service, scheme_name, batch=batch, lookahead=lookahead
+    )
+    decisions: Dict[int, Dict[str, Any]] = {}
+    admits = 0
+    accepted = 0
+    try:
+        for event in timeline:
+            if event.op == "admit":
+                admits += 1
+                result = authority.admit(event.args)
+                decisions[event.args["request_id"]] = result
+                if result["accepted"]:
+                    accepted += 1
+            elif event.op == "release":
+                # Idempotent like the server path: the connection may
+                # already be gone after a failure.
+                try:
+                    authority.release(event.args["connection"])
+                except ConnectionStateError:
+                    pass
+            elif event.op == "fail_link":
+                authority.fail_link(event.args["link"])
+            elif event.op == "repair_link":
+                authority.repair_link(event.args["link"])
+    finally:
+        authority.close()
+    ordered: List[Dict[str, Any]] = [
+        decisions[request_id] for request_id in sorted(decisions)
+    ]
+    return {
+        "admits": admits,
+        "accepted": accepted,
+        "acceptance_ratio": accepted / admits if admits else 0.0,
+        # 0/1 per request id, shaped like run_sequential_reference for
+        # the loadtest --verify plumbing ...
+        "decisions": [int(result["accepted"]) for result in ordered],
+        # ... and the full protocol results for the hard oracle diff.
+        "results": ordered,
+        "counters": {
+            "requests": service.counters.requests,
+            "accepted": service.counters.accepted,
+            "released": service.counters.released,
+        },
+        "authority": {
+            "batch": batch,
+            "lookahead": lookahead,
+            "commits": authority.stats.commits,
+            "replans": authority.stats.replans,
+            "final_epoch": authority.seq // batch,
+        },
+    }

@@ -1,0 +1,131 @@
+"""The cluster's frontend router: the NDJSON server, sharded.
+
+:class:`ClusterControlPlaneServer` speaks exactly the protocol of the
+single-process :class:`~repro.server.app.ControlPlaneServer` it
+subclasses — same framing, same ops, same manifest discipline — but
+its writer loop hands every mutation to a
+:class:`~repro.cluster.engine.ClusterEngine` instead of applying it
+inline: admissions are planned on N shard processes against replicated
+link-state epochs and serialized through the single commit authority.
+Clients cannot tell the difference except in the ``status`` op's extra
+``cluster`` section and in throughput.
+
+Reads (``status`` / ``metrics`` / ``ping``) still answer on the
+asyncio thread, under the engine's commit lock, so a scrape always
+observes a commit boundary.  Shutdown drains through the engine: every
+accepted mutation commits, shards flush and write their manifests, and
+their span files are stitched into the router's merged trace before
+the base class writes it out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from ..metrics import ServiceMetrics
+from ..server import protocol
+from ..server.app import _SENTINEL, ControlPlaneServer
+from ..server.protocol import ProtocolError, Request
+from ..topology.srlg import RiskGroupSet
+from .authority import DEFAULT_BATCH, DEFAULT_LOOKAHEAD
+from .engine import ClusterEngine
+
+
+class ClusterControlPlaneServer(ControlPlaneServer):
+    """Serve one DRTP service through N admission shards."""
+
+    def __init__(
+        self,
+        service,
+        metrics: Optional[ServiceMetrics] = None,
+        *,
+        scheme_name: str,
+        workers: int,
+        batch: int = DEFAULT_BATCH,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        risk_groups: Optional[RiskGroupSet] = None,
+        cluster_dir: Optional[str] = None,
+        retry_policy=None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(service, metrics, **kwargs)
+        self._engine = ClusterEngine(
+            service,
+            scheme_name,
+            workers,
+            batch=batch,
+            lookahead=lookahead,
+            risk_groups=risk_groups,
+            registry=self.metrics.registry,
+            trace=self.trace,
+            server_stats=self.stats,
+            manifest_dir=cluster_dir,
+            trace_dir=self.trace_dir,
+            retry_policy=retry_policy,
+        )
+
+    @property
+    def engine(self) -> ClusterEngine:
+        """The commit engine (tests and the oracle poke at it)."""
+        return self._engine
+
+    async def start(self) -> None:
+        await super().start()
+        self._engine.bind_loop(self._loop)
+        self._engine.start()
+
+    async def _writer_loop(self) -> None:
+        """Forward mutations to the engine in arrival order; on the
+        shutdown sentinel, drain it from an executor thread (the drain
+        blocks on in-flight shard plans)."""
+        loop = asyncio.get_event_loop()
+        while True:
+            item = await self._mutations.get()
+            if item is _SENTINEL:
+                await loop.run_in_executor(None, self._engine.drain_and_stop)
+                return
+            request, future, op_span = item
+            try:
+                kind, args = self._parse_mutation(request)
+            except ProtocolError as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+                continue
+            self._engine.submit(kind, args, future, op_span)
+
+    def _parse_mutation(self, request: Request):
+        """Validate a mutation up front (the engine thread and the
+        shards only ever see canonical argument dicts)."""
+        if request.op == "admit":
+            return "admit", self._parse_admit(request)
+        if request.op == "release":
+            connection = protocol.require_int(
+                request.args, "connection", request.id
+            )
+            return "release", {"connection": connection}
+        if request.op == "fail_link":
+            return "fail_link", {"link": self._require_link(request)}
+        if request.op == "repair_link":
+            return "repair_link", {"link": self._require_link(request)}
+        raise ProtocolError(  # pragma: no cover - dispatch guarantees ops
+            protocol.ERR_BAD_REQUEST,
+            "unexpected mutation op {!r}".format(request.op),
+            request.id,
+        )
+
+    def _apply_read(self, request: Request) -> Dict[str, Any]:
+        # Reads share the engine's commit lock so status counters and
+        # metric scrapes always observe a commit boundary.
+        with self._engine.lock:
+            return super()._apply_read(request)
+
+    def _op_status(self) -> Dict[str, Any]:
+        status = super()._op_status()
+        status["cluster"] = self._engine.status()
+        return status
+
+    def manifest(self) -> Dict[str, Any]:
+        manifest = super().manifest()
+        manifest["cluster"] = self._engine.status()
+        return manifest

@@ -1,0 +1,205 @@
+"""The admission-shard worker process.
+
+Each shard is a plain OS process holding one
+:class:`~repro.cluster.authority.EpochPlanner` (a routing scheme bound
+to a delta-fed :class:`~repro.cluster.replica.ReplicaDatabase`).  The
+router keeps the replica convergent by interleaving ``delta`` /
+``snapshot`` messages with ``plan`` requests on the shard's FIFO
+dispatch queue, so by the time a plan request is dequeued the replica
+is already at exactly the epoch the request must be planned against.
+
+Lifecycle mirrors the campaign worker pool: a ``None`` sentinel asks
+for a clean exit, SIGTERM asks for a graceful drain (flush whatever is
+already queued, then exit), and SIGKILL is survived by the router's
+inline requeue.  On any clean exit the worker writes an atomic
+per-shard metrics manifest and, when tracing, an NDJSON span file the
+router stitches into the merged trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..experiments.sweep import make_scheme
+from ..network.state import NetworkState
+from ..observability import TraceCollector, write_ndjson
+from ..routing.base import RouteQuery, RoutingContext
+from ..topology.graph import Network
+from ..topology.srlg import RiskGroupSet
+from .replica import INGEST_APPLIED, ReplicaDatabase
+
+
+@dataclass
+class ShardConfig:
+    """Everything a shard needs to boot (picklable for spawn starts)."""
+
+    worker_id: int
+    generation: int
+    scheme_name: str
+    network: Network
+    risk_groups: Optional[RiskGroupSet] = None
+    manifest_dir: Optional[str] = None
+    trace_dir: Optional[str] = None
+    trace_max_spans: int = 100_000
+
+
+def shard_manifest_path(manifest_dir: str, worker_id: int) -> Path:
+    """Where shard ``worker_id`` writes its metrics manifest."""
+    return Path(manifest_dir) / "shard-{}.json".format(worker_id)
+
+
+def _write_shard_manifest(config: ShardConfig, stats: Dict[str, Any]) -> None:
+    if config.manifest_dir is None:
+        return
+    directory = Path(config.manifest_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = shard_manifest_path(config.manifest_dir, config.worker_id)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)  # atomic: readers never see a torn manifest
+
+
+def shard_worker_main(config: ShardConfig, inbox, results) -> None:
+    """Process entry point: replicate, plan, drain cleanly.
+
+    ``inbox`` carries ``("snapshot", DatabaseSnapshot)``,
+    ``("delta", LinkStateDelta)`` and ``("plan", seq, epoch, args)``
+    messages plus the ``None`` shutdown sentinel; ``results`` receives
+    ``("planned", worker_id, generation, seq, RoutePlan)`` replies and
+    a final ``("stopped", worker_id, generation, stats)``.
+    """
+    drain = {"flag": False}
+    signal.signal(signal.SIGTERM, lambda signum, frame: drain.update(flag=True))
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    trace = (
+        TraceCollector(max_spans=config.trace_max_spans)
+        if config.trace_dir is not None
+        else None
+    )
+    replica: Optional[ReplicaDatabase] = None
+    scheme = None
+    stats: Dict[str, Any] = {
+        "shard": config.worker_id,
+        "generation": config.generation,
+        "pid": os.getpid(),
+        "planned": 0,
+        "deltas_applied": 0,
+        "snapshots": 0,
+        "resyncs": 0,
+        "desyncs": 0,
+        "exit_reason": "sentinel",
+    }
+
+    def handle(message) -> bool:
+        """Apply one dispatch message; False stops the loop."""
+        nonlocal replica, scheme
+        if message is None:
+            return False
+        kind = message[0]
+        if kind == "snapshot":
+            snapshot = message[1]
+            if replica is None:
+                replica = ReplicaDatabase(
+                    snapshot, risk_groups=config.risk_groups
+                )
+                scheme = make_scheme(config.scheme_name)
+                scheme.bind(
+                    RoutingContext(
+                        config.network,
+                        NetworkState(config.network),
+                        database=replica,
+                    )
+                )
+                stats["snapshots"] += 1
+            else:
+                replica.resync(snapshot)
+                stats["resyncs"] += 1
+        elif kind == "delta":
+            if replica is None or replica.ingest(message[1]) != INGEST_APPLIED:
+                # FIFO dispatch makes this unreachable in practice;
+                # report it rather than planning on a wrong epoch.
+                stats["desyncs"] += 1
+                results.put(("desync", config.worker_id, config.generation))
+            else:
+                stats["deltas_applied"] += 1
+        elif kind == "plan":
+            _, seq, epoch, args = message
+            if replica is None or replica.epoch != epoch:
+                stats["desyncs"] += 1
+                results.put(("desync", config.worker_id, config.generation))
+                return True
+            if trace is not None:
+                span = trace.span(
+                    "cluster.plan",
+                    category="cluster",
+                    seq=seq,
+                    epoch=epoch,
+                    shard=config.worker_id,
+                )
+                with span:
+                    plan = scheme.plan(
+                        RouteQuery(
+                            args["source"], args["destination"], args["bw"],
+                            max_hops=None,
+                        )
+                    )
+                    span.tag(accepted=plan.accepted)
+            else:
+                plan = scheme.plan(
+                    RouteQuery(
+                        args["source"], args["destination"], args["bw"],
+                        max_hops=None,
+                    )
+                )
+            results.put(
+                ("planned", config.worker_id, config.generation, seq, plan)
+            )
+            stats["planned"] += 1
+        return True
+
+    running = True
+    while running:
+        if drain["flag"]:
+            # Graceful SIGTERM drain: flush everything already queued
+            # (the in-flight batch), answer it, then exit — the router
+            # stays up and respawns a fresh generation.
+            stats["exit_reason"] = "SIGTERM"
+            while True:
+                try:
+                    message = inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if not handle(message):
+                    stats["exit_reason"] = "sentinel"
+                    break
+            break
+        try:
+            message = inbox.get(timeout=0.2)
+        except queue.Empty:
+            continue
+        running = handle(message)
+
+    if replica is not None:
+        stats["replica_epoch"] = replica.epoch
+        stats["duplicates_ignored"] = replica.duplicates_ignored
+        stats["gaps_detected"] = replica.gaps_detected
+    _write_shard_manifest(config, stats)
+    if trace is not None and config.trace_dir is not None:
+        directory = Path(config.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_ndjson(
+            directory
+            / "shard-{}-{}.ndjson".format(config.worker_id, config.generation),
+            trace,
+            label="drtp-shard-{}".format(config.worker_id),
+        )
+    results.put(("stopped", config.worker_id, config.generation, stats))
+    sys.exit(0)

@@ -44,10 +44,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-from ..core.errors import ConnectionStateError
 from ..metrics import ServiceMetrics
 from ..observability import TraceCollector, write_chrome_trace, write_ndjson
-from . import protocol
+from . import ops, protocol
 from .protocol import ProtocolError, Request
 
 __all__ = ["ControlPlaneServer", "ServerStats"]
@@ -584,7 +583,10 @@ class ControlPlaneServer:
         return self._mutation_handlers[request.op](request)
 
     # -- mutating ops ---------------------------------------------------
-    def _op_admit(self, request: Request) -> Dict[str, Any]:
+    def _parse_admit(self, request: Request) -> Dict[str, Any]:
+        """Validate an admit's arguments into the canonical args dict
+        consumed by :mod:`repro.server.ops` (and, in cluster mode, by
+        the admission shards before any plan is attempted)."""
         args = request.args
         source = protocol.require_int(args, "source", request.id)
         destination = protocol.require_int(args, "destination", request.id)
@@ -606,46 +608,25 @@ class ControlPlaneServer:
             raise ProtocolError(
                 protocol.ERR_BAD_REQUEST, "bw must be positive", request.id,
             )
-        hold = args.get("hold")
-        if hold is not None:
-            hold = protocol.require_number(args, "hold", request.id)
-        request_id = args.get("request_id")
-        if request_id is not None:
-            request_id = protocol.require_int(args, "request_id", request.id)
-        decision = self.service.request(
-            source, destination, bw,
-            holding_time=float("inf") if hold is None else hold,
-            request_id=request_id,
-        )
-        result: Dict[str, Any] = {
-            "accepted": decision.accepted,
-            "reason": decision.reason,
+        parsed: Dict[str, Any] = {
+            "source": source, "destination": destination, "bw": bw,
         }
-        if decision.accepted:
-            connection = decision.connection
-            result.update(
-                connection=connection.connection_id,
-                degraded=decision.degraded,
-                primary_hops=connection.primary_route.hop_count,
-                backup_hops=(
-                    connection.backup_route.hop_count
-                    if connection.backup_route is not None else 0
-                ),
+        if args.get("hold") is not None:
+            parsed["hold"] = protocol.require_number(args, "hold", request.id)
+        if args.get("request_id") is not None:
+            parsed["request_id"] = protocol.require_int(
+                args, "request_id", request.id
             )
-        return result
+        return parsed
+
+    def _op_admit(self, request: Request) -> Dict[str, Any]:
+        return ops.apply_admit(self.service, self._parse_admit(request))
 
     def _op_release(self, request: Request) -> Dict[str, Any]:
         connection_id = protocol.require_int(
             request.args, "connection", request.id
         )
-        # Idempotent by design: the connection may have been torn down
-        # by a failure between the client's admit and this release, so
-        # "already gone" is a normal outcome, not a protocol error.
-        try:
-            self.service.release(connection_id)
-        except ConnectionStateError:
-            return {"released": False, "connection": connection_id}
-        return {"released": True, "connection": connection_id}
+        return ops.apply_release(self.service, connection_id)
 
     def _require_link(self, request: Request) -> int:
         link = protocol.require_int(request.args, "link", request.id)
@@ -660,20 +641,10 @@ class ControlPlaneServer:
         return link
 
     def _op_fail_link(self, request: Request) -> Dict[str, Any]:
-        link = self._require_link(request)
-        impact = self.service.fail_link(link)
-        return {
-            "link": link,
-            "affected": impact.affected,
-            "activated": impact.activated,
-            "lost": impact.failed,
-        }
+        return ops.apply_fail_link(self.service, self._require_link(request))
 
     def _op_repair_link(self, request: Request) -> Dict[str, Any]:
-        link = self._require_link(request)
-        was_failed = self.service.state.is_link_failed(link)
-        self.service.repair_link(link)
-        return {"link": link, "repaired": True, "was_failed": was_failed}
+        return ops.apply_repair_link(self.service, self._require_link(request))
 
     # -- read ops -------------------------------------------------------
     def _apply_read(self, request: Request) -> Dict[str, Any]:

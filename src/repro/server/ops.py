@@ -1,0 +1,93 @@
+"""Service-level mutation commits shared by every control-plane shape.
+
+The single-process :class:`~repro.server.app.ControlPlaneServer` and
+the sharded :mod:`repro.cluster` commit authority must produce
+byte-identical protocol results for the same operation against the
+same service state — that equality is what the cluster differential
+oracle checks.  Keeping the service-call-plus-result-shaping here, in
+one place, makes it true by construction rather than by duplication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.errors import ConnectionStateError
+from ..core.service import DRTPService
+from ..routing.base import RoutePlan
+
+
+def admit_result(decision) -> Dict[str, Any]:
+    """The protocol result payload for an admission decision."""
+    result: Dict[str, Any] = {
+        "accepted": decision.accepted,
+        "reason": decision.reason,
+    }
+    if decision.accepted:
+        connection = decision.connection
+        result.update(
+            connection=connection.connection_id,
+            degraded=decision.degraded,
+            primary_hops=connection.primary_route.hop_count,
+            backup_hops=(
+                connection.backup_route.hop_count
+                if connection.backup_route is not None else 0
+            ),
+        )
+    return result
+
+
+def apply_admit(service: DRTPService, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Commit an admission the single-writer way: the service plans
+    against its own (live) database and reserves in one step."""
+    hold = args.get("hold")
+    decision = service.request(
+        args["source"], args["destination"], args["bw"],
+        holding_time=float("inf") if hold is None else hold,
+        request_id=args.get("request_id"),
+    )
+    return admit_result(decision)
+
+
+def apply_admit_planned(
+    service: DRTPService, args: Dict[str, Any], plan: RoutePlan
+) -> Dict[str, Any]:
+    """Commit an admission whose plan was computed elsewhere (an
+    admission shard's epoch replica, or the authority's own replan)."""
+    hold = args.get("hold")
+    decision = service.request_planned(
+        args["source"], args["destination"], args["bw"], plan,
+        holding_time=float("inf") if hold is None else hold,
+        request_id=args.get("request_id"),
+    )
+    return admit_result(decision)
+
+
+def apply_release(service: DRTPService, connection_id: int) -> Dict[str, Any]:
+    """Release a connection.  Idempotent by design: the connection may
+    have been torn down by a failure between the client's admit and
+    this release, so "already gone" is a normal outcome, not a
+    protocol error."""
+    try:
+        service.release(connection_id)
+    except ConnectionStateError:
+        return {"released": False, "connection": connection_id}
+    return {"released": True, "connection": connection_id}
+
+
+def apply_fail_link(service: DRTPService, link: int) -> Dict[str, Any]:
+    """Fail a link and report the blast radius."""
+    impact = service.fail_link(link)
+    return {
+        "link": link,
+        "affected": impact.affected,
+        "activated": impact.activated,
+        "lost": impact.failed,
+    }
+
+
+def apply_repair_link(service: DRTPService, link: int) -> Dict[str, Any]:
+    """Repair a link (idempotent), reporting whether it was failed."""
+    was_failed = service.state.is_link_failed(link)
+    service.repair_link(link)
+    return {"link": link, "repaired": True, "was_failed": was_failed}

@@ -1,0 +1,212 @@
+"""Tests for the cluster commit engine, headless and in-process.
+
+The engine is driven directly (no asyncio server) with stub futures:
+a deterministic mutation stream goes in, and the committed decision
+trace must equal the sequential epoch replay — with live shards, with
+a shard SIGKILLed mid-stream, and with every shard gone (inline
+degradation).  An in-process server round-trip checks the asyncio
+plumbing and the ``status`` op's cluster section.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import (
+    CLUSTER_UNSAFE_SCHEMES,
+    ClusterControlPlaneServer,
+    ClusterEngine,
+    run_cluster_reference,
+)
+from repro.core import DRTPService
+from repro.experiments import make_scheme
+from repro.server import LoadGenConfig, build_timeline, decode_response, encode_request
+from repro.topology import mesh_network
+
+ROWS = COLS = 4
+CAPACITY = 6.0
+
+
+class StubFuture:
+    """The minimal future surface the engine resolves."""
+
+    def __init__(self):
+        self.result = None
+        self.error = None
+        self._done = False
+
+    def done(self):
+        return self._done
+
+    def set_result(self, result):
+        self._done = True
+        self.result = result
+
+    def set_exception(self, error):
+        self._done = True
+        self.error = error
+
+
+def _timeline(rate=30.0, duration=6.0, seed=11):
+    network = mesh_network(ROWS, COLS, CAPACITY)
+    return network, build_timeline(
+        LoadGenConfig(
+            arrival_rate=rate, duration=duration, master_seed=seed
+        ),
+        network.num_nodes,
+        network.num_links,
+        network=network,
+    )
+
+
+def _submit_all(engine, events):
+    """Feed timeline events to the engine; returns admit futures by
+    request id (the event args are already canonical)."""
+    admits = {}
+    for event in events:
+        future = StubFuture()
+        engine.submit(event.op, dict(event.args), future, None)
+        if event.op == "admit":
+            admits[event.args["request_id"]] = future
+    return admits
+
+
+def _decisions(admits):
+    return [
+        int(admits[rid].result["accepted"]) for rid in sorted(admits)
+    ]
+
+
+def _wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestHeadlessEngine:
+    def test_decision_trace_matches_sequential_replay(self):
+        network, timeline = _timeline()
+        service = DRTPService(network, make_scheme("D-LSR"))
+        engine = ClusterEngine(service, "D-LSR", workers=2)
+        engine.start()
+        admits = _submit_all(engine, timeline)
+        engine.drain_and_stop()
+
+        reference = run_cluster_reference(network, "D-LSR", timeline)
+        assert _decisions(admits) == reference["decisions"]
+        # Same routes, not just same verdicts: the final link state of
+        # the reference service is byte-identical.
+        twin = DRTPService(network, make_scheme("D-LSR"))
+        run_cluster_reference(network, "D-LSR", timeline, service=twin)
+        assert service.state.fingerprint() == twin.state.fingerprint()
+        status = engine.status()
+        assert status["committed"] == len(timeline)
+        assert sum(s["planned"] for s in status["shards"]) + \
+            status["requeues"] + status["inline_plans"] >= len(admits)
+        assert all(s["final_report"] is not None for s in status["shards"])
+
+    def test_sigkill_mid_stream_changes_nothing_but_latency(self):
+        network, timeline = _timeline(seed=13)
+        service = DRTPService(network, make_scheme("D-LSR"))
+        engine = ClusterEngine(service, "D-LSR", workers=2)
+        engine.start()
+        half = len(timeline) // 2
+        admits = _submit_all(engine, timeline[:half])
+        assert _wait_for(lambda: engine.outstanding_count() > 0)
+        os.kill(engine.shard_pids()[0], signal.SIGKILL)
+        admits.update(_submit_all(engine, timeline[half:]))
+        engine.drain_and_stop()
+
+        reference = run_cluster_reference(network, "D-LSR", timeline)
+        assert _decisions(admits) == reference["decisions"]
+        status = engine.status()
+        assert status["shards"][0]["restarts"] >= 1
+        # Late replies from the dead generation were discarded, and the
+        # outstanding plans were recomputed inline.
+        assert status["requeues"] >= 1
+
+    def test_all_shards_dead_degrades_to_inline_planning(self):
+        network, timeline = _timeline(duration=3.0, seed=17)
+        service = DRTPService(network, make_scheme("P-LSR"))
+        from repro.faults import RetryPolicy
+
+        engine = ClusterEngine(
+            service, "P-LSR", workers=1,
+            retry_policy=RetryPolicy(
+                max_attempts=1, base_delay=0.01, max_delay=0.01,
+                deadline=0.1,
+            ),
+        )
+        engine.start()
+        # Exhaust the only shard's retry budget.
+        os.kill(engine.shard_pids()[0], signal.SIGKILL)
+        assert _wait_for(
+            lambda: not engine._pool.live_shards()  # noqa: SLF001
+        )
+        time.sleep(0.15)  # past the retry deadline
+        admits = _submit_all(engine, timeline)
+        engine.drain_and_stop()
+
+        reference = run_cluster_reference(network, "P-LSR", timeline)
+        assert _decisions(admits) == reference["decisions"]
+        assert engine.status()["inline_plans"] >= 1
+
+    def test_unsafe_schemes_and_qos_slack_rejected(self):
+        network = mesh_network(ROWS, COLS, CAPACITY)
+        assert "random" in CLUSTER_UNSAFE_SCHEMES
+        with pytest.raises(ValueError):
+            ClusterEngine(
+                DRTPService(network, make_scheme("random")),
+                "random", workers=1,
+            )
+        slack = DRTPService(network, make_scheme("D-LSR"), qos_slack=2)
+        with pytest.raises(ValueError):
+            ClusterEngine(slack, "D-LSR", workers=1)
+
+
+class TestInProcessServer:
+    def test_round_trip_and_cluster_status(self, tmp_path):
+        async def _run():
+            network = mesh_network(ROWS, COLS, CAPACITY)
+            service = DRTPService(network, make_scheme("D-LSR"))
+            sock = str(tmp_path / "cluster.sock")
+            server = ClusterControlPlaneServer(
+                service, scheme_name="D-LSR", workers=2, socket_path=sock,
+            )
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(b"".join([
+                encode_request(
+                    "admit",
+                    {"source": 0, "destination": 15, "bw": 1.0},
+                    request_id=1,
+                ),
+                encode_request("status", request_id=2),
+                encode_request("release", {"connection": 0}, request_id=3),
+            ]))
+            await writer.drain()
+            responses = []
+            for _ in range(3):
+                line = await reader.readline()
+                responses.append(decode_response(line.decode()))
+            writer.close()
+            await server.shutdown()
+            return responses, server
+
+        responses, server = asyncio.run(_run())
+        (_, ok1, admit), (_, ok2, status), (_, ok3, release) = responses
+        assert ok1 and ok2 and ok3
+        assert admit["accepted"] and admit["connection"] == 0
+        assert release == {"released": True, "connection": 0}
+        cluster = status["cluster"]
+        assert cluster["workers"] == 2
+        assert cluster["batch"] == 32 and cluster["lookahead"] == 2
+        assert len(cluster["shards"]) == 2
+        # The manifest carries the final cluster section too.
+        assert server.manifest()["cluster"]["committed"] == 2

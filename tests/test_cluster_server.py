@@ -1,0 +1,164 @@
+"""Subprocess integration tests for ``repro serve --workers N``.
+
+Extends the PR-4 SIGTERM-drain discipline to the cluster: a *shard*
+SIGTERMed mid-load must drain its in-flight batch, write its atomic
+metrics manifest and get respawned — while the router keeps serving —
+and a SIGTERM to the router must drain the whole cluster (every
+accepted mutation committed, shard manifests and the merged cluster
+section archived).
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.server import decode_response, encode_request
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    return env
+
+
+def _serve(tmp_path, *extra):
+    sock = tmp_path / "serve.sock"
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--socket", str(sock),
+        "--rows", "4", "--cols", "4",
+        "--scheme", "D-LSR",
+        "--workers", "2",
+        "--manifest", str(tmp_path / "manifest.json"),
+        "--cluster-dir", str(tmp_path / "cluster"),
+    ] + list(extra)
+    serve = subprocess.Popen(
+        argv, env=_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not sock.exists():
+        assert serve.poll() is None, serve.stdout.read()
+        assert time.monotonic() < deadline, "socket never appeared"
+        time.sleep(0.05)
+    return serve, sock
+
+
+def _query(sock, op, args=None, request_id=1):
+    async def _run():
+        reader, writer = await asyncio.open_unix_connection(str(sock))
+        writer.write(encode_request(op, args or {}, request_id=request_id))
+        await writer.drain()
+        line = await reader.readline()
+        writer.close()
+        return decode_response(line.decode())
+
+    return asyncio.run(_run())
+
+
+def _loadtest(sock, rate, duration, seed=3):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "loadtest",
+            "--socket", str(sock),
+            "--rate", str(rate), "--duration", str(duration),
+            "--seed", str(seed),
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+class TestWorkerSigterm:
+    def test_shard_sigterm_drains_and_router_keeps_serving(self, tmp_path):
+        serve, sock = _serve(tmp_path)
+        load = None
+        try:
+            _, ok, status = _query(sock, "status")
+            assert ok
+            shards = status["cluster"]["shards"]
+            victim = shards[0]
+            assert victim["alive"] and victim["generation"] == 0
+
+            # Keep admissions flowing while the shard drains.
+            load = _loadtest(sock, rate=200, duration=20)
+            time.sleep(1.0)
+            os.kill(victim["pid"], signal.SIGTERM)
+            out, _ = load.communicate(timeout=120)
+            assert load.returncode == 0, out
+
+            # The drained shard wrote its manifest and was respawned.
+            manifest_path = tmp_path / "cluster" / "shard-0.json"
+            deadline = time.monotonic() + 10
+            while not manifest_path.exists():
+                assert time.monotonic() < deadline, "no shard manifest"
+                time.sleep(0.05)
+            shard_manifest = json.loads(manifest_path.read_text())
+            assert shard_manifest["exit_reason"] == "SIGTERM"
+            assert shard_manifest["pid"] == victim["pid"]
+
+            # Router stayed up: it still answers, and slot 0 runs a new
+            # generation of the shard process.
+            _, ok, status = _query(sock, "status", request_id=2)
+            assert ok
+            slot0 = status["cluster"]["shards"][0]
+            assert slot0["alive"]
+            assert slot0["generation"] >= 1
+            assert slot0["restarts"] >= 1
+            assert slot0["pid"] != victim["pid"]
+        finally:
+            if load is not None and load.poll() is None:
+                load.kill()
+                load.communicate()
+            serve.send_signal(signal.SIGTERM)
+            out, _ = serve.communicate(timeout=60)
+
+        assert serve.returncode == 0, out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["exit_reason"] == "SIGTERM"
+        assert manifest["server"]["drained_clean"]
+        assert manifest["server"]["protocol_errors"] == 0
+        cluster = manifest["cluster"]
+        assert cluster["committed"] > 0
+        assert cluster["shards"][0]["restarts"] >= 1
+
+    def test_router_sigterm_drains_whole_cluster(self, tmp_path):
+        serve, sock = _serve(tmp_path, "--trace-dir", str(tmp_path / "tr"))
+        load = None
+        try:
+            load = _loadtest(sock, rate=200, duration=20, seed=5)
+            time.sleep(1.0)
+            assert serve.poll() is None
+            serve.send_signal(signal.SIGTERM)
+            out, _ = serve.communicate(timeout=60)
+            load.communicate(timeout=120)
+        finally:
+            for proc in (serve, load):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+
+        assert serve.returncode == 0, out
+        assert not sock.exists()  # unlinked on drain
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["exit_reason"] == "SIGTERM"
+        assert manifest["server"]["drained_clean"]
+        cluster = manifest["cluster"]
+        assert cluster["committed"] > 0
+        # Both shards drained on the shutdown sentinel and reported.
+        for worker_id in (0, 1):
+            shard_manifest = json.loads(
+                (tmp_path / "cluster" / "shard-{}.json".format(worker_id))
+                .read_text()
+            )
+            assert shard_manifest["exit_reason"] == "sentinel"
+        # The merged trace carries one lane per shard (pid 0 is the
+        # router, shards are pid 1..N).
+        trace = json.loads((tmp_path / "tr" / "server_trace.json").read_text())
+        pids = {event.get("pid") for event in trace["traceEvents"]}
+        assert {0, 1, 2}.issubset(pids)
