@@ -19,6 +19,9 @@ from pathlib import Path
 from typing import Dict, Sequence, Tuple
 
 from repro.experiments import QUICK_SCALE
+from repro.loadmodel.rss import current_rss_bytes, peak_rss_bytes  # noqa: F401
+# Re-exported so every benchmark records memory through one probe:
+# throughput without a footprint number cannot gate a memory refactor.
 
 #: Arrival-rate subsets per average degree (3 points per figure panel,
 #: spanning light load to saturation).

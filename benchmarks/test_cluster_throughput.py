@@ -29,10 +29,16 @@ from _common import (
     check_paired_iterations,
     cpu_info,
     once,
+    peak_rss_bytes,
     pin_process_to_one_cpu,
     record,
     ArmTimer,
 )
+
+#: How the router currently ships admissions to shards; bumped when the
+#: dispatch protocol changes so the archived JSON keeps the previous
+#: mode's numbers as a before/after comparison.
+DISPATCH_MODE = "plan_batch"
 
 ROWS = COLS = 12
 CAPACITY = 32.0
@@ -86,7 +92,10 @@ def _measure_arm(workers: int, tmp_sock: str):
         )
         generator = LoadGenerator(timeline, socket_path=tmp_sock)
         report = asyncio.run(generator.run())
-        return report, pinned
+        # Sampled while the router still lives: VmHWM of a reaped
+        # process is unreadable.
+        router_rss = peak_rss_bytes(serve.pid)
+        return report, pinned, router_rss
     finally:
         serve.terminate()
         serve.communicate(timeout=60)
@@ -96,9 +105,9 @@ def _run_all_arms(tmp_path):
     outcomes = {}
     for workers in WORKER_ARMS:
         sock = str(tmp_path / "w{}.sock".format(workers))
-        report, pinned = _measure_arm(workers, sock)
+        report, pinned, router_rss = _measure_arm(workers, sock)
         assert report.protocol_error_total == 0, report.protocol_errors
-        outcomes[workers] = (report, pinned)
+        outcomes[workers] = (report, pinned, router_rss)
     return outcomes
 
 
@@ -109,7 +118,7 @@ def test_cluster_throughput_scaling(benchmark, tmp_path):
     timers = []
     arms = []
     decisions = {}
-    for workers, (report, pinned) in sorted(outcomes.items()):
+    for workers, (report, pinned, router_rss) in sorted(outcomes.items()):
         label = "single" if workers == 0 else "workers-{}".format(workers)
         timer = ArmTimer(label)
         timer.add(int(report.wall_seconds * 1e9), report.admits)
@@ -123,6 +132,7 @@ def test_cluster_throughput_scaling(benchmark, tmp_path):
                 report.admits / report.wall_seconds, 1
             ),
             "acceptance_ratio": round(report.acceptance_ratio, 4),
+            "router_peak_rss_bytes": router_rss,
         })
     check_paired_iterations(*timers)
 
@@ -147,13 +157,14 @@ def test_cluster_throughput_scaling(benchmark, tmp_path):
         ),
     }
     payload = {
-        "version": 1,
+        "version": 2,
         **host,
         "rows": ROWS,
         "cols": COLS,
         "rate": RATE,
         "duration": DURATION,
         "seed": BENCH_SEED,
+        "dispatch": DISPATCH_MODE,
         "arms": arms,
         "gate": gate,
         "stretch": {
@@ -162,7 +173,24 @@ def test_cluster_throughput_scaling(benchmark, tmp_path):
         },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "cluster_throughput.json").write_text(
+    out_path = RESULTS_DIR / "cluster_throughput.json"
+    # Before/after record for dispatch-protocol changes: when the mode
+    # changes, the superseded run's arms stay archived under
+    # ``previous`` so the coalescing win is visible in one artifact.
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except ValueError:
+            existing = {}
+        if existing.get("dispatch", "per_request") != DISPATCH_MODE:
+            payload["previous"] = {
+                "dispatch": existing.get("dispatch", "per_request"),
+                "cpu_available": existing.get("cpu_available"),
+                "arms": existing.get("arms", []),
+            }
+        elif "previous" in existing:
+            payload["previous"] = existing["previous"]
+    (out_path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     record(

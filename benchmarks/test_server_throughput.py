@@ -28,7 +28,14 @@ from repro.server import (
 )
 from repro.topology import mesh_network
 
-from _common import BENCH_SEED, cpu_info, once, pin_process_to_one_cpu, record
+from _common import (
+    BENCH_SEED,
+    cpu_info,
+    once,
+    peak_rss_bytes,
+    pin_process_to_one_cpu,
+    record,
+)
 
 ROWS = COLS = 16
 CAPACITY = 32.0
@@ -78,10 +85,13 @@ def _serve_and_measure(tmp_sock):
         )
         generator = LoadGenerator(timeline, socket_path=tmp_sock)
         report = asyncio.run(generator.run())
+        # Sampled while the server still lives: VmHWM of a reaped
+        # process is unreadable.
+        server_rss = peak_rss_bytes(serve.pid)
         reference = run_sequential_reference(
             DRTPService(network, PLSRScheme()), timeline
         )
-        return report, reference, pinned
+        return report, reference, pinned, server_rss
     finally:
         serve.terminate()
         serve.communicate(timeout=30)
@@ -89,7 +99,7 @@ def _serve_and_measure(tmp_sock):
 
 def test_admission_throughput_gate(benchmark, tmp_path):
     sock = str(tmp_path / "bench.sock")
-    report, reference, pinned = once(
+    report, reference, pinned, server_rss = once(
         benchmark, lambda: _serve_and_measure(sock)
     )
 
@@ -113,6 +123,7 @@ def test_admission_throughput_gate(benchmark, tmp_path):
                 ),
                 "acceptance_ratio": round(report.acceptance_ratio, 4),
                 "protocol_errors": report.protocol_error_total,
+                "server_peak_rss_bytes": server_rss,
             },
             indent=2,
         ),

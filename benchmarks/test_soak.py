@@ -1,0 +1,135 @@
+"""Long-horizon soak gate — memory stays flat under sustained churn.
+
+The slab connection store and windowed streaming metrics exist so a
+production-length run cannot grow without bound; this benchmark is the
+gate that proves it.  It drives ``repro soak`` (the real CLI, in its
+own process, so the RSS numbers are the deployment's, not pytest's)
+through 10^5 MMPP/hot-spot admissions on a 500-node Waxman graph and
+asserts:
+
+* the run completes with the CLI's own ``--rss-limit-mb`` ceiling
+  intact;
+* resident memory is *sub-linear* in admissions — after warm-up, the
+  per-window RSS curve must be flat, not growing with churn;
+* the slab actually recycles (reused slots dominate allocated slots).
+
+Results land in ``benchmarks/results/soak.json`` under ``ci``.  The
+10^6-admission recorded run — same graph, same seed, ten times the
+churn — is refreshed by setting ``REPRO_SOAK_FULL=1``; its archived
+numbers are preserved across ordinary CI runs so the headline table in
+EXPERIMENTS.md stays regenerable.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from _common import RESULTS_DIR, cpu_info, once, record
+
+NODES = 500
+DEGREE = 4.0
+SEED = 7
+CI_ADMISSIONS = 100_000
+FULL_ADMISSIONS = 1_000_000
+WINDOW = 10_000
+#: Hard ceiling handed to ``repro soak --rss-limit-mb``: the whole
+#: 500-node run, interpreter included, must stay under this.
+RSS_LIMIT_MB = 384
+#: After warm-up, a window's RSS may exceed the early-run baseline by
+#: at most this factor — the sub-linearity gate (10x the churn must
+#: not mean 10x the memory; flat is the claim).
+MAX_RSS_GROWTH = 1.5
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _run_soak(admissions: int, out_path: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "soak",
+            "--nodes", str(NODES),
+            "--degree", str(DEGREE),
+            "--seed", str(SEED),
+            "--admissions", str(admissions),
+            "--window", str(WINDOW),
+            "--rss-limit-mb", str(RSS_LIMIT_MB),
+            "--out", str(out_path),
+            "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout
+    return json.loads(out_path.read_text())
+
+
+def _check_soak(payload: dict, admissions: int) -> None:
+    """The gates every soak run (CI or full) must clear."""
+    assert payload["admissions"] == admissions
+    assert payload["peak_rss_bytes"] < RSS_LIMIT_MB * 1024 * 1024
+    assert payload["admissions_per_second"] > 0
+
+    windows = payload["windows"]
+    assert len(windows) == admissions // WINDOW
+    # Sub-linear memory: once past warm-up (graph build, imports, the
+    # climb to steady-state population), later windows must not keep
+    # growing with admission count.
+    baseline = windows[1]["rss_bytes"]
+    tail_peak = max(entry["rss_bytes"] for entry in windows[2:])
+    assert tail_peak <= baseline * MAX_RSS_GROWTH, (
+        "RSS grew from {} to {} across the soak".format(baseline, tail_peak)
+    )
+    # The slab must be recycling slots, not allocating per admission:
+    # high water tracks the peak *concurrent* population, far below
+    # the total accepted count.
+    slab = payload["slab"]
+    assert slab["high_water"] < payload["accepted"] / 10
+    assert slab["reused_slots"] > slab["high_water"]
+
+
+def test_soak_memory_gate(benchmark, tmp_path):
+    run_full = os.environ.get("REPRO_SOAK_FULL") == "1"
+    admissions = FULL_ADMISSIONS if run_full else CI_ADMISSIONS
+    payload = once(
+        benchmark,
+        lambda: _run_soak(admissions, tmp_path / "soak_run.json"),
+    )
+    _check_soak(payload, admissions)
+
+    host = cpu_info()
+    section = "recorded" if run_full else "ci"
+    payload = {**payload, **host, "window": WINDOW}
+    out_path = RESULTS_DIR / "soak.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except ValueError:
+            merged = {}
+    merged[section] = payload
+    out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    record(
+        "soak",
+        "soak gate ({} nodes, {} admissions, {})\n".format(
+            NODES, admissions, section
+        )
+        + json.dumps(
+            {
+                key: payload[key]
+                for key in (
+                    "admissions", "accepted", "acceptance_ratio",
+                    "admissions_per_second", "peak_rss_bytes",
+                    "slab", "decision_checksum",
+                )
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )

@@ -111,6 +111,13 @@ from .server import (
     build_timeline,
     run_sequential_reference,
 )
+from .loadmodel import (
+    MMPPParameters,
+    ProductionTraceConfig,
+    ProductionTraceGenerator,
+    SoakEngine,
+    generate_production_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -188,4 +195,10 @@ __all__ = [
     "LoadGenerator",
     "build_timeline",
     "run_sequential_reference",
+    # production-trace load model
+    "MMPPParameters",
+    "ProductionTraceConfig",
+    "ProductionTraceGenerator",
+    "SoakEngine",
+    "generate_production_scenario",
 ]

@@ -26,6 +26,7 @@ from .messages import (
     routing_overhead,
 )
 from .saturation import SaturationCurve, build_curve
+from .streaming import Reservoir, StreamingMoments, WindowedSeries
 from .chaos_report import ChaosReport
 from .report import format_series, format_table
 from .plot import ascii_chart
@@ -58,6 +59,9 @@ __all__ = [
     "CDP_BYTES",
     "SaturationCurve",
     "build_curve",
+    "StreamingMoments",
+    "Reservoir",
+    "WindowedSeries",
     "ChaosReport",
     "format_table",
     "format_series",

@@ -12,11 +12,13 @@ scenario file, which :func:`capacity_overhead_percent` assumes and
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List
+from typing import Deque, Optional
 
 from ..core.service import DRTPService
 from ..simulation.simulator import Observer, SimulationResult
+from .streaming import StreamingMoments
 
 
 def capacity_overhead_percent(
@@ -81,32 +83,46 @@ class BandwidthBreakdown:
 
 class SpareShareObserver(Observer):
     """Samples the prime/spare bandwidth split at every snapshot —
-    the in-network counterpart of the connection-count overhead."""
+    the in-network counterpart of the connection-count overhead.
 
-    def __init__(self) -> None:
-        self.samples: List[BandwidthBreakdown] = []
+    The means are streamed (:class:`~repro.analysis.streaming.StreamingMoments`
+    keeps an exact running sum, so they equal the old list-based
+    ``sum/len`` bit for bit); ``window`` bounds how many raw
+    :class:`BandwidthBreakdown` records stay resident, which is what a
+    soak-length run needs.  ``window=None`` (the default) retains
+    everything, preserving the original semantics exactly.
+    """
+
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive when given")
+        self.samples: Deque[BandwidthBreakdown] = deque(maxlen=window)
+        self._spare = StreamingMoments()
+        self._utilization = StreamingMoments()
 
     def on_snapshot(self, service: DRTPService, time: float) -> None:
         state = service.state
-        self.samples.append(
-            BandwidthBreakdown(
-                time=time,
-                prime_bw=state.total_prime_bw(),
-                spare_bw=state.total_spare_bw(),
-                capacity=state.total_capacity(),
-            )
+        sample = BandwidthBreakdown(
+            time=time,
+            prime_bw=state.total_prime_bw(),
+            spare_bw=state.total_spare_bw(),
+            capacity=state.total_capacity(),
         )
+        self.samples.append(sample)
+        self._spare.push(sample.spare_fraction_of_committed)
+        self._utilization.push(sample.utilization)
+
+    @property
+    def sample_count(self) -> int:
+        """Snapshots observed — including any evicted past the window."""
+        return self._spare.count
 
     @property
     def mean_spare_fraction(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(s.spare_fraction_of_committed for s in self.samples) / len(
-            self.samples
-        )
+        """Mean spare share of committed bandwidth over *all* snapshots."""
+        return self._spare.mean
 
     @property
     def mean_utilization(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(s.utilization for s in self.samples) / len(self.samples)
+        """Mean network utilization over *all* snapshots."""
+        return self._utilization.mean

@@ -1,0 +1,188 @@
+"""Streaming (windowed) statistics for long-horizon runs.
+
+The paper's campaigns replay hundreds of connections, so per-snapshot
+record lists are harmless; a 10^6-admission soak is a different
+regime — anything that grows with the admission count eventually
+dominates RSS.  This module holds the three bounded-memory primitives
+the long-horizon machinery uses instead:
+
+* :class:`StreamingMoments` — exact running count/mean/variance
+  (Welford) plus min/max, O(1) state;
+* :class:`Reservoir` — a fixed-size uniform sample of an unbounded
+  stream (Vitter's Algorithm R) for quantile estimates;
+* :class:`WindowedSeries` — bounded retention of the most recent
+  samples *plus* exact running totals over everything ever appended,
+  so means never degrade when old samples are evicted.
+
+All three are deterministic given their inputs (the reservoir takes an
+injected ``random.Random``), which keeps soak reports reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+
+class StreamingMoments:
+    """Exact running moments of a value stream in O(1) memory.
+
+    Uses Welford's online update for the variance; the mean is also
+    tracked as a running *sum* so that ``mean`` is bit-identical to
+    ``sum(values) / len(values)`` over the same stream — the property
+    that keeps windowed observers equal to their list-based
+    predecessors.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """``sum / count`` (0 for an empty stream)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the stream so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the stream so far."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary (empty streams report zeros)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class Reservoir:
+    """Fixed-size uniform sample of an unbounded stream (Algorithm R).
+
+    Every element of the stream ends up in the reservoir with equal
+    probability ``capacity / seen``, so quantiles over the retained
+    sample estimate the stream's quantiles without retaining the
+    stream.  Determinism comes from the injected ``rng``.
+    """
+
+    __slots__ = ("capacity", "seen", "samples", "_rng")
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self.samples: List[float] = []
+        self._rng = rng or random.Random(0)
+
+    def push(self, value: float) -> None:
+        """Offer one observation to the reservoir."""
+        self.seen += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the retained sample (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary with the usual latency quantiles."""
+        return {
+            "seen": self.seen,
+            "retained": len(self.samples),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class WindowedSeries:
+    """Bounded retention of recent samples with exact global totals.
+
+    Appending never loses information that the aggregate views need:
+    ``mean``/``count``/``minimum``/``maximum`` cover *every* value
+    ever appended (via :class:`StreamingMoments`), while indexing,
+    iteration and ``len`` expose only the ``window`` most recent
+    samples.  With ``window=None`` nothing is ever evicted and the
+    series behaves exactly like a list — the default for paper-scale
+    runs, so existing observers keep their semantics byte-for-byte.
+    """
+
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive when given")
+        self.window = window
+        self._recent: Deque = deque(maxlen=window)
+        self._moments = StreamingMoments()
+
+    def append(self, value) -> None:
+        """Retain ``value`` (evicting the oldest past the window) and
+        fold it into the running aggregates."""
+        self._recent.append(value)
+        self._moments.push(float(value))
+
+    @property
+    def total_count(self) -> int:
+        """How many values were ever appended (evicted ones included)."""
+        return self._moments.count
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over every value ever appended."""
+        return self._moments.mean
+
+    @property
+    def moments(self) -> StreamingMoments:
+        """The full running moments over the whole stream."""
+        return self._moments
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._recent)
+
+    def __getitem__(self, index: int):
+        return self._recent[index]

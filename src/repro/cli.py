@@ -26,9 +26,13 @@ Commands:
   TCP or a Unix socket, Prometheus/JSON metrics, graceful SIGTERM
   drain with a final metrics manifest;
 * ``loadtest`` — drive a running server with a deterministic seeded
-  workload (Poisson arrivals, hold times, optional fault mix) and
-  optionally diff its decisions against an in-process sequential
-  replay of the same timeline.
+  workload (Poisson or MMPP/drift production arrivals, hold times,
+  optional fault mix) and optionally diff its decisions against an
+  in-process sequential replay of the same timeline;
+* ``soak``    — long-horizon churn: stream a production trace (MMPP
+  bursts, drifting hot spots) through one in-process service for
+  10^5–10^6 admissions, with windowed metrics, slab-reuse stats and
+  peak-RSS accounting (``docs/architecture.md``, memory layer).
 
 Every command is deterministic given its ``--seed``; topology and
 scenario files round-trip through the serializers in
@@ -68,6 +72,57 @@ from .topology.waxman import WaxmanParameters
 SCHEME_CHOICES = ("D-LSR", "P-LSR", "BF", "disjoint", "random", "no-backup")
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float.
+
+    Rates, durations, windows and hold times silently fed ``0`` or a
+    negative value used to surface as a downstream ZeroDivisionError,
+    ValueError traceback, or an empty-timeline hang; rejecting them at
+    the parser gives a one-line usage error instead.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a number, got {!r}".format(text)
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be positive, got {}".format(text)
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected an integer, got {!r}".format(text)
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be positive, got {}".format(text)
+        )
+    return value
+
+
+def _fraction(text: str) -> float:
+    """Argparse type: a float in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a number, got {!r}".format(text)
+        )
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            "must be in (0, 1], got {}".format(text)
+        )
+    return value
+
+
 def _package_version() -> str:
     """Installed distribution version, falling back to the package
     constant when running from a source tree."""
@@ -79,6 +134,26 @@ def _package_version() -> str:
         from . import __version__
 
         return __version__
+
+
+def _add_production_knobs(parser: argparse.ArgumentParser) -> None:
+    """The MMPP/drift knobs shared by production-workload commands
+    (``scenario --workload production``, ``soak``, ``loadtest
+    --workload production``)."""
+    parser.add_argument("--burst-factor", type=_positive_float, default=4.0,
+                        help="burst-phase rate as a multiple of calm")
+    parser.add_argument("--calm-mean", type=_positive_float, default=3600.0,
+                        help="mean calm-phase sojourn, simulated seconds")
+    parser.add_argument("--burst-mean", type=_positive_float, default=600.0,
+                        help="mean burst-phase sojourn, simulated seconds")
+    parser.add_argument("--hot-count", type=_positive_int, default=10,
+                        help="size of the drifting hot destination set")
+    parser.add_argument("--hot-fraction", type=_fraction, default=0.5,
+                        help="share of connections aimed at hot nodes")
+    parser.add_argument("--drift-epoch", type=_positive_float, default=3600.0,
+                        help="seconds between hot-set migrations")
+    parser.add_argument("--drift-migrate", type=_positive_int, default=1,
+                        help="hot nodes replaced per migration step")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,14 +191,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen = sub.add_parser("scenario", help="generate a scenario file")
     scen.add_argument("output", help="where to write the scenario JSON")
-    scen.add_argument("--nodes", type=int, default=60)
-    scen.add_argument("--rate", type=float, default=0.4,
-                      help="Poisson arrival rate (connections/second)")
-    scen.add_argument("--duration", type=float, default=5400.0,
+    scen.add_argument("--nodes", type=_positive_int, default=60)
+    scen.add_argument("--rate", type=_positive_float, default=0.4,
+                      help="mean arrival rate (connections/second)")
+    scen.add_argument("--duration", type=_positive_float, default=5400.0,
                       help="simulated seconds")
-    scen.add_argument("--pattern", choices=("UT", "NT"), default="UT")
-    scen.add_argument("--bw", type=float, default=1.0)
+    scen.add_argument("--workload", choices=("poisson", "production"),
+                      default="poisson",
+                      help="'poisson' is the paper's process; "
+                      "'production' layers MMPP bursts and hot-spot "
+                      "drift from repro.loadmodel")
+    scen.add_argument("--pattern", choices=("UT", "NT"), default="UT",
+                      help="endpoint pattern (poisson workload only; "
+                      "production always drifts an NT-style hot set)")
+    scen.add_argument("--bw", type=_positive_float, default=1.0)
+    scen.add_argument("--hold-min", type=_positive_float, default=1200.0,
+                      help="minimum holding time, seconds (paper: 20min)")
+    scen.add_argument("--hold-max", type=_positive_float, default=3600.0,
+                      help="maximum holding time, seconds (paper: 60min)")
     scen.add_argument("--seed", type=int, default=0)
+    _add_production_knobs(scen)
 
     replay = sub.add_parser("replay", help="replay a scenario file")
     replay.add_argument("topology", help="topology JSON from `topology`")
@@ -243,9 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--cols", type=int, default=8, help="mesh cols")
     chaos.add_argument("--capacity", type=float, default=30.0)
     chaos.add_argument("--scheme", choices=SCHEME_CHOICES, default="D-LSR")
-    chaos.add_argument("--rate", type=float, default=2.0,
+    chaos.add_argument("--rate", type=_positive_float, default=2.0,
                        help="Poisson arrival rate (connections/second)")
-    chaos.add_argument("--duration", type=float, default=600.0,
+    chaos.add_argument("--duration", type=_positive_float, default=600.0,
                        help="simulated seconds")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--plan", default=None,
@@ -350,21 +437,26 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest", help="drive a running server with deterministic load"
     )
     _endpoint_options(load)
-    load.add_argument("--rate", type=float, default=40.0,
-                      help="Poisson arrival rate (requests per virtual "
+    load.add_argument("--rate", type=_positive_float, default=40.0,
+                      help="mean arrival rate (requests per virtual "
                       "second)")
-    load.add_argument("--duration", type=float, default=60.0,
+    load.add_argument("--duration", type=_positive_float, default=60.0,
                       help="virtual seconds of load")
-    load.add_argument("--hold-min", type=float, default=2.0,
+    load.add_argument("--hold-min", type=_positive_float, default=2.0,
                       help="minimum connection hold time (virtual s)")
-    load.add_argument("--hold-max", type=float, default=6.0,
+    load.add_argument("--hold-max", type=_positive_float, default=6.0,
                       help="maximum connection hold time (virtual s)")
-    load.add_argument("--bw", type=float, default=1.0)
+    load.add_argument("--bw", type=_positive_float, default=1.0)
     load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--workload", choices=("poisson", "production"),
+                      default="poisson",
+                      help="'production' drives MMPP bursts and "
+                      "drifting hot-spot endpoints (sojourns/epochs "
+                      "scaled to --duration)")
     load.add_argument("--time-scale", type=float, default=0.0,
                       help="wall seconds per virtual second "
                       "(0 = replay as fast as the pipe allows)")
-    load.add_argument("--max-inflight", type=int, default=64,
+    load.add_argument("--max-inflight", type=_positive_int, default=64,
                       help="pipelined requests kept outstanding")
     load.add_argument("--plan", default=None, metavar="PATH",
                       help="fault-plan JSON mixing link flaps/bursts "
@@ -383,6 +475,42 @@ def build_parser() -> argparse.ArgumentParser:
                       "server)")
     load.add_argument("--tolerance", type=float, default=0.005,
                       help="acceptance-ratio tolerance for --verify")
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon churn soak: stream a production trace "
+        "(MMPP x hot-spot drift) through one service, with windowed "
+        "metrics and peak-RSS accounting",
+    )
+    soak.add_argument("--topology", default=None, metavar="PATH",
+                      help="topology JSON (default: generate a Waxman "
+                      "graph from --nodes/--degree/--capacity)")
+    soak.add_argument("--nodes", type=_positive_int, default=500)
+    soak.add_argument("--degree", type=_positive_float, default=4.0,
+                      help="Waxman average degree target")
+    soak.add_argument("--capacity", type=_positive_float, default=40.0)
+    soak.add_argument("--scheme", choices=SCHEME_CHOICES, default="P-LSR")
+    soak.add_argument("--admissions", type=_positive_int, default=100_000,
+                      help="admission attempts to sustain")
+    soak.add_argument("--rate", type=_positive_float, default=50.0,
+                      help="long-run mean arrival rate (connections "
+                      "per simulated second)")
+    soak.add_argument("--hold-min", type=_positive_float, default=20.0,
+                      help="minimum holding time, simulated seconds "
+                      "(short holds = high churn)")
+    soak.add_argument("--hold-max", type=_positive_float, default=60.0,
+                      help="maximum holding time, simulated seconds")
+    soak.add_argument("--bw", type=_positive_float, default=1.0)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--window", type=_positive_int, default=10_000,
+                      help="admissions per measurement window")
+    soak.add_argument("--out", default=None, metavar="PATH",
+                      help="write the JSON soak report here")
+    soak.add_argument("--rss-limit-mb", type=_positive_float, default=None,
+                      help="fail (exit 1) if peak RSS exceeds this")
+    soak.add_argument("--quiet", action="store_true",
+                      help="suppress per-window progress lines")
+    _add_production_knobs(soak)
 
     return parser
 
@@ -431,15 +559,61 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
-    scenario = generate_scenario(
-        num_nodes=args.nodes,
-        arrival_rate=args.rate,
-        duration=args.duration,
+def _production_trace_config(args: argparse.Namespace, num_nodes: int):
+    """Build a ProductionTraceConfig from the shared CLI knobs."""
+    from .loadmodel import (
+        DriftParameters,
+        MMPPParameters,
+        ProductionTraceConfig,
+    )
+    from .simulation.arrivals import HoldingTimeDistribution
+
+    return ProductionTraceConfig(
+        num_nodes=num_nodes,
+        mmpp=MMPPParameters.bursty(
+            args.rate,
+            burst_factor=args.burst_factor,
+            calm_mean=args.calm_mean,
+            burst_mean=args.burst_mean,
+        ),
+        drift=DriftParameters(
+            hot_count=args.hot_count,
+            hot_fraction=args.hot_fraction,
+            epoch_seconds=args.drift_epoch,
+            migrate=args.drift_migrate,
+        ),
+        holding=HoldingTimeDistribution(args.hold_min, args.hold_max),
         bw_req=args.bw,
-        pattern=args.pattern,
         seed=args.seed,
     )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .simulation.arrivals import HoldingTimeDistribution
+
+    if args.workload == "production":
+        from .loadmodel import generate_production_scenario
+
+        if args.hot_count >= args.nodes:
+            print(
+                "repro scenario: --hot-count must be below --nodes",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = generate_production_scenario(
+            _production_trace_config(args, args.nodes),
+            duration=args.duration,
+        )
+    else:
+        scenario = generate_scenario(
+            num_nodes=args.nodes,
+            arrival_rate=args.rate,
+            duration=args.duration,
+            bw_req=args.bw,
+            pattern=args.pattern,
+            holding=HoldingTimeDistribution(args.hold_min, args.hold_max),
+            seed=args.seed,
+        )
     scenario.save(args.output)
     print(
         "wrote {}: {} requests over {:.0f}s (empirical rate {:.3f}/s)".format(
@@ -796,6 +970,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         bw_req=args.bw,
         master_seed=args.seed,
         fault_plan=plan,
+        workload=args.workload,
     )
     endpoint = _endpoint_kwargs(args)
     if "port" in endpoint and endpoint["port"] == 0:
@@ -1155,6 +1330,103 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from .loadmodel import ProductionTraceGenerator, SoakEngine
+
+    if args.topology is not None:
+        network = load_network(args.topology)
+    else:
+        network = waxman_network(
+            args.nodes,
+            capacity=args.capacity,
+            parameters=WaxmanParameters(target_degree=args.degree),
+            rng=random.Random(args.seed),
+        )
+    if args.hot_count >= network.num_nodes:
+        print(
+            "repro soak: --hot-count must be below the node count",
+            file=sys.stderr,
+        )
+        return 2
+    service = DRTPService(
+        network,
+        make_scheme(args.scheme),
+        require_backup=args.scheme != "no-backup",
+    )
+    config = _production_trace_config(args, network.num_nodes)
+    print(
+        "soak: {} nodes, {} links, scheme {}, {} admissions "
+        "(window {}), offered load ~{:.0f} concurrent".format(
+            network.num_nodes, network.num_links, args.scheme,
+            args.admissions, args.window,
+            config.expected_offered_load(),
+        )
+    )
+
+    def progress(stats) -> None:
+        if args.quiet:
+            return
+        print(
+            "window {:>4}: t={:>9.1f}s active={:>6} accept={:.3f} "
+            "{:>7.0f} adm/s rss={:.1f} MiB".format(
+                stats.index, stats.sim_time, stats.active,
+                stats.accepted / max(1, stats.admissions),
+                stats.admissions_per_second,
+                stats.rss_bytes / (1024.0 * 1024.0),
+            ),
+            flush=True,
+        )
+
+    engine = SoakEngine(
+        service,
+        ProductionTraceGenerator(config),
+        window=args.window,
+        progress=progress,
+    )
+    report = engine.run(args.admissions)
+    payload = report.to_dict()
+    payload["scheme"] = args.scheme
+    payload["nodes"] = network.num_nodes
+    payload["links"] = network.num_links
+    payload["seed"] = args.seed
+    rows = [
+        ("admissions", report.admissions),
+        ("accepted", report.accepted),
+        ("acceptance ratio", "{:.4f}".format(report.acceptance_ratio)),
+        ("releases", report.releases),
+        ("final active", report.final_active),
+        ("simulated time", "{:.0f}s".format(report.sim_time)),
+        ("wall time", "{:.1f}s".format(report.wall_seconds)),
+        ("admissions/s", "{:.0f}".format(report.admissions_per_second)),
+        ("peak RSS", "{:.1f} MiB".format(
+            report.peak_rss_bytes / (1024.0 * 1024.0))),
+        ("slab slots (high water)", report.slab.get("high_water", 0)),
+        ("slab reuses", report.slab.get("reused_slots", 0)),
+        ("decision checksum", report.decision_checksum[:16]),
+    ]
+    print(format_table(("metric", "value"), rows))
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote {}".format(args.out))
+    if args.rss_limit_mb is not None:
+        limit = args.rss_limit_mb * 1024 * 1024
+        if report.peak_rss_bytes > limit:
+            print(
+                "repro soak: peak RSS {:.1f} MiB exceeds the {:.1f} MiB "
+                "ceiling".format(
+                    report.peak_rss_bytes / (1024.0 * 1024.0),
+                    args.rss_limit_mb,
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: parse ``argv`` (default ``sys.argv[1:]``),
     dispatch to the subcommand, return the process exit code."""
@@ -1182,6 +1454,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
     raise AssertionError("unhandled command {!r}".format(args.command))

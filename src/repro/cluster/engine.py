@@ -4,10 +4,12 @@ One dedicated thread owns the whole mutation pipeline:
 
 * **intake** — pre-validated mutations arrive from the asyncio front
   end in arrival order and receive global sequence numbers;
-* **dispatch** — admissions fan out round-robin to the shard pool,
-  each preceded on its shard's FIFO queue by exactly the deltas (or a
-  full snapshot, when the shard is fresh or lagging behind delta
-  retention) that bring the replica to the op's epoch view;
+* **dispatch** — admissions fan out to the shard pool in coalesced
+  same-epoch batches (one ``plan_batch`` queue hop per shard per
+  epoch run, answered by one ``planned_batch`` reply), each preceded
+  on its shard's FIFO queue by exactly the deltas (or a full
+  snapshot, when the shard is fresh or lagging behind delta
+  retention) that bring the replica to the batch's epoch view;
 * **commit** — operations apply to the one live
   :class:`~repro.core.service.DRTPService` strictly in sequence order
   through the :mod:`repro.cluster.authority` commit functions, and
@@ -357,30 +359,73 @@ class ClusterEngine:
         return slot
 
     def _dispatch(self) -> bool:
+        """Fan dispatchable admissions out to the shard pool.
+
+        Ops are dispatched *per epoch run*, not per request: every
+        contiguous run of queue heads sharing one (already captured)
+        target epoch is split across the live shards and shipped as
+        one ``plan_batch`` queue hop per shard — with replies batched
+        symmetrically, the per-request multiprocessing round-trips
+        that dominated the router's critical path collapse by the
+        batch factor.  Plans are pure functions of (epoch view,
+        request), so how a run is split can never change a decision.
+        """
         progressed = False
         while self._dispatch_queue:
-            seq = self._dispatch_queue[0]
-            target = epoch_for(seq, self.batch, self.lookahead)
+            target = epoch_for(
+                self._dispatch_queue[0], self.batch, self.lookahead
+            )
             if target > self._captured:
                 break  # epochs are seq-monotone; later ops wait too
-            self._dispatch_queue.popleft()
-            op = self._pending[seq]
-            slot = self._pick_slot()
-            if slot is None:
+            run: List[int] = []
+            while self._dispatch_queue:
+                seq = self._dispatch_queue[0]
+                if epoch_for(seq, self.batch, self.lookahead) != target:
+                    break
+                self._dispatch_queue.popleft()
+                run.append(seq)
+            live = len(self._pool.live_shards())
+            if live == 0:
                 # Every shard is gone (retry policy exhausted): the
                 # router degrades to planning inline, still correct.
                 self._planner.advance_to(target, self._deltas)
-                op.plan = self._planner.plan(
-                    op.args["source"], op.args["destination"], op.args["bw"]
-                )
-                op.ready = True
-                self.inline_plans += 1
+                for seq in run:
+                    op = self._pending[seq]
+                    op.plan = self._planner.plan(
+                        op.args["source"], op.args["destination"],
+                        op.args["bw"],
+                    )
+                    op.ready = True
+                    self.inline_plans += 1
             else:
-                self._sync_slot(slot, target)
-                slot.queue.put(("plan", seq, target, op.args))
-                self._outstanding[seq] = slot
+                for chunk in self._split_run(run, live):
+                    slot = self._pick_slot()
+                    if slot is None:  # pragma: no cover - raced death
+                        self._dispatch_queue.extendleft(reversed(chunk))
+                        break
+                    self._sync_slot(slot, target)
+                    slot.queue.put(("plan_batch", target, [
+                        (seq, self._pending[seq].args) for seq in chunk
+                    ]))
+                    for seq in chunk:
+                        self._outstanding[seq] = slot
             progressed = True
         return progressed
+
+    @staticmethod
+    def _split_run(run: List[int], shards: int) -> List[List[int]]:
+        """Split one epoch's dispatch run into at most ``shards``
+        contiguous chunks, as evenly as possible, so every live shard
+        works the epoch concurrently."""
+        chunks = min(len(run), shards)
+        size, extra = divmod(len(run), chunks)
+        out: List[List[int]] = []
+        start = 0
+        for index in range(chunks):
+            end = start + size + (1 if index < extra else 0)
+            out.append(run[start:end])
+            start = end
+        return out
 
     def _sync_slot(self, slot: ShardHandle, target: int) -> None:
         """Put the deltas (or a snapshot) bringing ``slot`` to
@@ -438,6 +483,21 @@ class ClusterEngine:
             slot.planned += 1
             if self._m_plans is not None:
                 self._m_plans.inc(1, str(worker_id))
+        elif kind == "planned_batch":
+            _, worker_id, generation, planned = message
+            slot = self._pool.find(worker_id, generation)
+            for seq, plan in planned:
+                owner = self._outstanding.get(seq)
+                if slot is None or owner is not slot:
+                    self.stale_results += 1
+                    continue
+                del self._outstanding[seq]
+                op = self._pending[seq]
+                op.plan = plan
+                op.ready = True
+                slot.planned += 1
+                if self._m_plans is not None:
+                    self._m_plans.inc(1, str(worker_id))
         elif kind == "desync":
             # A shard refused a dispatch (should be unreachable under
             # FIFO delivery): force a snapshot resync and replan its

@@ -70,10 +70,13 @@ def shard_worker_main(config: ShardConfig, inbox, results) -> None:
     """Process entry point: replicate, plan, drain cleanly.
 
     ``inbox`` carries ``("snapshot", DatabaseSnapshot)``,
-    ``("delta", LinkStateDelta)`` and ``("plan", seq, epoch, args)``
+    ``("delta", LinkStateDelta)``, ``("plan", seq, epoch, args)`` and
+    the coalesced ``("plan_batch", epoch, [(seq, args), ...])``
     messages plus the ``None`` shutdown sentinel; ``results`` receives
-    ``("planned", worker_id, generation, seq, RoutePlan)`` replies and
-    a final ``("stopped", worker_id, generation, stats)``.
+    ``("planned", worker_id, generation, seq, RoutePlan)`` /
+    ``("planned_batch", worker_id, generation, [(seq, RoutePlan),
+    ...])`` replies and a final
+    ``("stopped", worker_id, generation, stats)``.
     """
     drain = {"flag": False}
     signal.signal(signal.SIGTERM, lambda signum, frame: drain.update(flag=True))
@@ -97,6 +100,25 @@ def shard_worker_main(config: ShardConfig, inbox, results) -> None:
         "desyncs": 0,
         "exit_reason": "sentinel",
     }
+
+    def plan_one(seq, epoch, args):
+        """Plan one admission against the current replica epoch."""
+        query = RouteQuery(
+            args["source"], args["destination"], args["bw"], max_hops=None
+        )
+        if trace is not None:
+            span = trace.span(
+                "cluster.plan",
+                category="cluster",
+                seq=seq,
+                epoch=epoch,
+                shard=config.worker_id,
+            )
+            with span:
+                plan = scheme.plan(query)
+                span.tag(accepted=plan.accepted)
+            return plan
+        return scheme.plan(query)
 
     def handle(message) -> bool:
         """Apply one dispatch message; False stops the loop."""
@@ -136,33 +158,27 @@ def shard_worker_main(config: ShardConfig, inbox, results) -> None:
                 stats["desyncs"] += 1
                 results.put(("desync", config.worker_id, config.generation))
                 return True
-            if trace is not None:
-                span = trace.span(
-                    "cluster.plan",
-                    category="cluster",
-                    seq=seq,
-                    epoch=epoch,
-                    shard=config.worker_id,
-                )
-                with span:
-                    plan = scheme.plan(
-                        RouteQuery(
-                            args["source"], args["destination"], args["bw"],
-                            max_hops=None,
-                        )
-                    )
-                    span.tag(accepted=plan.accepted)
-            else:
-                plan = scheme.plan(
-                    RouteQuery(
-                        args["source"], args["destination"], args["bw"],
-                        max_hops=None,
-                    )
-                )
+            plan = plan_one(seq, epoch, args)
             results.put(
                 ("planned", config.worker_id, config.generation, seq, plan)
             )
             stats["planned"] += 1
+        elif kind == "plan_batch":
+            # One queue hop carries an entire same-epoch run: the
+            # epoch check happens once, and one batched reply replaces
+            # per-request result-queue writes on the way back.
+            _, epoch, items = message
+            if replica is None or replica.epoch != epoch:
+                stats["desyncs"] += 1
+                results.put(("desync", config.worker_id, config.generation))
+                return True
+            planned = [(seq, plan_one(seq, epoch, args))
+                       for seq, args in items]
+            results.put(
+                ("planned_batch", config.worker_id, config.generation,
+                 planned)
+            )
+            stats["planned"] += len(planned)
         return True
 
     running = True

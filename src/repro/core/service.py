@@ -34,6 +34,7 @@ from .connection import ConnectionRequest, ConnectionState, DRConnection
 from .errors import ConnectionStateError
 from .multiplexing import SharedSparePolicy, SparePolicy
 from .signaling import BackupRegisterPacket, register_backup_path
+from .slab import SlabConnectionStore
 from .recovery import (
     FailureImpact,
     apply_failed_links,
@@ -210,7 +211,10 @@ class DRTPService:
             metrics=metrics,
             trace=trace,
         )
-        self._connections: Dict[int, DRConnection] = {}
+        # Hot connection state lives in a slab store: dict-identical
+        # iteration order (golden traces depend on it) with slot reuse
+        # bounding footprint by the *peak* population, not total churn.
+        self._connections: SlabConnectionStore = SlabConnectionStore()
         self._pending_backup: set = set()
         self._next_request_id = 0
         self.counters = ServiceCounters()
@@ -806,6 +810,11 @@ class DRTPService:
 
     def has_connection(self, connection_id: int) -> bool:
         return connection_id in self._connections
+
+    def connection_store_stats(self) -> Dict[str, int]:
+        """Slab footprint/reuse counters (soak reports archive these to
+        prove steady-state memory stays flat under churn)."""
+        return self._connections.stats()
 
     def links_carrying_primaries(self) -> List[int]:
         """Link ids crossed by at least one active primary — the

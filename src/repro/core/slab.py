@@ -1,0 +1,199 @@
+"""Slab-allocated connection storage.
+
+A long-horizon soak churns through millions of admissions while only
+thousands are concurrently active.  A plain ``dict[int, DRConnection]``
+already frees the *objects* on release, but its internal table keeps
+growing amortization slack, and — more importantly for the cluster and
+kernel layers — there is no stable small-integer identity for a live
+connection that array-oriented bookkeeping could index by.
+
+:class:`SlabConnectionStore` provides both: connections live in an
+integer-indexed slot array whose freed slots are reused LIFO, and an
+insertion-ordered ``id -> slot`` index preserves the *exact* iteration
+order of the dict it replaces.  That ordering is load-bearing: recovery
+(`reconfigure_unprotected`, the broken-backup sweep in
+``apply_failed_links``) iterates ``connections.values()`` and plans in
+that order, so the store must be a drop-in for a dict or the golden
+traces, the differential oracle, and the cluster decision-trace
+invariant would all shift.
+
+Safety property (hypothesis-tested in ``tests/test_slab_store.py``):
+slot reuse never aliases a live connection — a slot is only handed out
+after its previous occupant was removed from the index, and every live
+id maps to exactly one slot holding exactly that connection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .connection import DRConnection
+
+_MISSING = object()
+
+
+class SlabConnectionStore:
+    """Dict-compatible connection table backed by reusable slots.
+
+    Supports the exact mapping subset the service and recovery layers
+    use — ``store[id]``, ``store[id] = conn``, ``del store[id]``,
+    ``pop``, ``get``, ``in``, ``len``, ``values()``, ``items()``,
+    ``keys()`` — with dict-identical (insertion) iteration order.
+    """
+
+    __slots__ = ("_slots", "_free", "_slot_of", "reused_slots", "high_water")
+
+    def __init__(self) -> None:
+        #: Slot array; freed slots hold ``None`` until reused.
+        self._slots: List[Optional[DRConnection]] = []
+        #: LIFO free list of slot indices (hot reuse keeps slabs dense).
+        self._free: List[int] = []
+        #: Insertion-ordered live index: connection id -> slot.
+        self._slot_of: Dict[int, int] = {}
+        #: How many insertions were served from the free list.
+        self.reused_slots = 0
+        #: Peak live population — the slab's actual footprint bound.
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    # Mapping interface (the subset service/recovery actually use)
+    # ------------------------------------------------------------------
+    def __setitem__(self, connection_id: int, connection: DRConnection) -> None:
+        if connection.connection_id != connection_id:
+            raise ValueError(
+                "store key {} does not match connection id {}".format(
+                    connection_id, connection.connection_id
+                )
+            )
+        slot = self._slot_of.get(connection_id)
+        if slot is not None:
+            # Dict semantics: replacing keeps the original order.
+            self._slots[slot] = connection
+            return
+        if self._free:
+            slot = self._free.pop()
+            self.reused_slots += 1
+            self._slots[slot] = connection
+        else:
+            slot = len(self._slots)
+            self._slots.append(connection)
+        self._slot_of[connection_id] = slot
+        if len(self._slot_of) > self.high_water:
+            self.high_water = len(self._slot_of)
+
+    def __getitem__(self, connection_id: int) -> DRConnection:
+        slot = self._slot_of.get(connection_id)
+        if slot is None:
+            raise KeyError(connection_id)
+        return self._slots[slot]  # type: ignore[return-value]
+
+    def __delitem__(self, connection_id: int) -> None:
+        slot = self._slot_of.pop(connection_id, None)
+        if slot is None:
+            raise KeyError(connection_id)
+        self._slots[slot] = None
+        self._free.append(slot)
+
+    def __contains__(self, connection_id: object) -> bool:
+        return connection_id in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._slot_of)
+
+    def get(
+        self, connection_id: int, default: Optional[DRConnection] = None
+    ) -> Optional[DRConnection]:
+        """Live connection for ``connection_id``, else ``default``."""
+        slot = self._slot_of.get(connection_id)
+        if slot is None:
+            return default
+        return self._slots[slot]
+
+    def pop(self, connection_id: int, default=_MISSING) -> DRConnection:
+        """Remove and return a connection (KeyError without default)."""
+        slot = self._slot_of.pop(connection_id, None)
+        if slot is None:
+            if default is _MISSING:
+                raise KeyError(connection_id)
+            return default
+        connection = self._slots[slot]
+        self._slots[slot] = None
+        self._free.append(slot)
+        return connection  # type: ignore[return-value]
+
+    def keys(self) -> Iterator[int]:
+        """Live connection ids in insertion order."""
+        return iter(self._slot_of)
+
+    def values(self) -> Iterator[DRConnection]:
+        """Live connections in insertion order (dict-identical)."""
+        for slot in self._slot_of.values():
+            yield self._slots[slot]  # type: ignore[misc]
+
+    def items(self) -> Iterator[Tuple[int, DRConnection]]:
+        """``(id, connection)`` pairs in insertion order."""
+        for connection_id, slot in self._slot_of.items():
+            yield connection_id, self._slots[slot]  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Slots ever allocated (live + free) — bounded by the peak
+        concurrent population, *not* by total admissions."""
+        return len(self._slots)
+
+    @property
+    def free_count(self) -> int:
+        """Slots currently on the free list."""
+        return len(self._free)
+
+    def stats(self) -> Dict[str, int]:
+        """Reuse/footprint counters for soak reports and benchmarks."""
+        return {
+            "live": len(self._slot_of),
+            "slots_allocated": len(self._slots),
+            "free": len(self._free),
+            "reused_slots": self.reused_slots,
+            "high_water": self.high_water,
+        }
+
+    def check(self) -> None:
+        """Internal invariants: the live index and the slot array are a
+        bijection, free slots are empty, and no slot is both live and
+        free — the no-aliasing property the hypothesis suite drives."""
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AssertionError("free list holds duplicate slots")
+        seen_slots = set()
+        for connection_id, slot in self._slot_of.items():
+            if slot in free:
+                raise AssertionError(
+                    "slot {} is both live and free".format(slot)
+                )
+            if slot in seen_slots:
+                raise AssertionError(
+                    "slot {} aliased by two live connections".format(slot)
+                )
+            seen_slots.add(slot)
+            connection = self._slots[slot]
+            if connection is None or connection.connection_id != connection_id:
+                raise AssertionError(
+                    "slot {} does not hold connection {}".format(
+                        slot, connection_id
+                    )
+                )
+        for slot, connection in enumerate(self._slots):
+            if connection is None:
+                if slot not in free:
+                    raise AssertionError(
+                        "empty slot {} is not on the free list".format(slot)
+                    )
+            elif slot not in seen_slots:
+                raise AssertionError(
+                    "slot {} holds an unindexed connection".format(slot)
+                )

@@ -35,6 +35,8 @@ from ..faults.injector import (
     FaultInjector,
 )
 from ..faults.plan import FaultPlan
+from ..loadmodel.drift import DriftingHotspotTraffic, DriftParameters
+from ..loadmodel.mmpp import MMPPArrivalProcess, MMPPParameters
 from ..simulation.arrivals import (
     HoldingTimeDistribution,
     PoissonArrivalProcess,
@@ -96,14 +98,56 @@ class LoadGenConfig:
     bw_req: float = 1.0
     master_seed: int = 0
     fault_plan: Optional[FaultPlan] = None
+    #: "poisson" (the paper's process, uniform endpoints) or
+    #: "production" (MMPP arrivals + drifting hot-spot endpoints from
+    #: :mod:`repro.loadmodel`); both build fully pre-sampled timelines,
+    #: so the sequential-reference verify works identically.
+    workload: str = "poisson"
+    mmpp: Optional[MMPPParameters] = None
+    drift: Optional[DriftParameters] = None
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.hold_min <= 0 or self.hold_max < self.hold_min:
+            raise ValueError(
+                "invalid hold-time range [{}, {}]".format(
+                    self.hold_min, self.hold_max
+                )
+            )
         if self.bw_req <= 0:
             raise ValueError("bw_req must be positive")
+        if self.workload not in ("poisson", "production"):
+            raise ValueError(
+                "workload must be 'poisson' or 'production', got "
+                "{!r}".format(self.workload)
+            )
+
+    def production_mmpp(self) -> MMPPParameters:
+        """The MMPP driving a production timeline: explicit parameters
+        or a bursty default whose sojourns fit the test duration
+        (quarter-duration calm phases, one-twelfth bursts) so short
+        loadtests still see several regime flips."""
+        if self.mmpp is not None:
+            return self.mmpp
+        return MMPPParameters.bursty(
+            self.arrival_rate,
+            calm_mean=self.duration / 4.0,
+            burst_mean=self.duration / 12.0,
+        )
+
+    def production_drift(self, num_nodes: int) -> DriftParameters:
+        """The drift clock for a production timeline: explicit
+        parameters or a default that migrates a 10-node (or smaller)
+        hot set every sixth of the duration."""
+        if self.drift is not None:
+            return self.drift
+        return DriftParameters(
+            hot_count=min(10, num_nodes - 1),
+            epoch_seconds=self.duration / 6.0,
+        )
 
 
 @dataclass(frozen=True)
@@ -147,20 +191,36 @@ def build_timeline(
     events: List[Tuple[float, int, TimelineEvent]] = []
     order = 0
 
-    arrivals = PoissonArrivalProcess(
-        config.arrival_rate,
-        seeded_rng(config.master_seed, "loadgen", "arrivals"),
-    )
+    if config.workload == "production":
+        arrival_iter = MMPPArrivalProcess(
+            config.production_mmpp(),
+            seeded_rng(config.master_seed, "loadgen", "arrivals"),
+            seeded_rng(config.master_seed, "loadgen", "phases"),
+        ).arrival_times(config.duration)
+        pattern: Optional[DriftingHotspotTraffic] = DriftingHotspotTraffic(
+            num_nodes,
+            config.production_drift(num_nodes),
+            derive_seed(config.master_seed, "loadgen"),
+        )
+    else:
+        arrival_iter = PoissonArrivalProcess(
+            config.arrival_rate,
+            seeded_rng(config.master_seed, "loadgen", "arrivals"),
+        ).arrival_times(config.duration)
+        pattern = None
     endpoints = seeded_rng(config.master_seed, "loadgen", "endpoints")
     holds = HoldingTimeDistribution(config.hold_min, config.hold_max)
     hold_rng = seeded_rng(config.master_seed, "loadgen", "holds")
 
     request_id = 0
-    for arrival in arrivals.arrival_times(config.duration):
-        source = endpoints.randrange(num_nodes)
-        destination = endpoints.randrange(num_nodes - 1)
-        if destination >= source:
-            destination += 1
+    for arrival in arrival_iter:
+        if pattern is not None:
+            source, destination = pattern.sample_pair_at(endpoints, arrival)
+        else:
+            source = endpoints.randrange(num_nodes)
+            destination = endpoints.randrange(num_nodes - 1)
+            if destination >= source:
+                destination += 1
         hold = holds.sample(hold_rng)
         events.append((arrival, order, TimelineEvent(
             time=arrival,

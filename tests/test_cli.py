@@ -146,3 +146,72 @@ class TestAssessCommand:
         assert main(["assess", str(topology_file), "--connections", "15",
                      "--nodes"]) == 0
         assert "P_act-bk" in capsys.readouterr().out
+
+
+class TestArgumentValidation:
+    """Non-positive rates/durations/windows must die in argparse with
+    exit code 2 and a message naming the offending value, across every
+    load-producing subcommand."""
+
+    @pytest.mark.parametrize("argv", [
+        ["scenario", "out.json", "--nodes", "20", "--rate", "0"],
+        ["scenario", "out.json", "--nodes", "20", "--rate", "-1.5"],
+        ["scenario", "out.json", "--nodes", "20", "--duration", "0"],
+        ["scenario", "out.json", "--nodes", "20", "--hold-min", "-3"],
+        ["scenario", "out.json", "--nodes", "20", "--bw", "0"],
+        ["scenario", "out.json", "--nodes", "0"],
+        ["scenario", "out.json", "--hot-fraction", "1.5"],
+        ["loadtest", "sock", "--rate", "0"],
+        ["loadtest", "sock", "--rate", "-2"],
+        ["loadtest", "sock", "--duration", "0"],
+        ["loadtest", "sock", "--hold-max", "0"],
+        ["loadtest", "sock", "--max-inflight", "0"],
+        ["soak", "--rate", "0"],
+        ["soak", "--rate", "-1"],
+        ["soak", "--admissions", "0"],
+        ["soak", "--window", "-5"],
+        ["soak", "--nodes", "-1"],
+        ["soak", "--hold-min", "0"],
+        ["soak", "--burst-factor", "0"],
+        ["chaos", "net.json", "--rate", "0"],
+        ["chaos", "net.json", "--duration", "-10"],
+    ])
+    def test_non_positive_load_args_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive" in err or "fraction" in err
+
+    def test_valid_args_still_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["soak", "--rate", "2.5", "--admissions", "100",
+             "--window", "10"]
+        )
+        assert args.rate == 2.5
+        assert args.admissions == 100
+
+    def test_soak_hot_count_must_leave_cold_nodes(self, capsys):
+        assert main(["soak", "--nodes", "5", "--hot-count", "10",
+                     "--admissions", "10"]) == 2
+        assert "hot-count" in capsys.readouterr().err
+
+
+class TestScenarioProductionWorkload:
+    def test_production_scenario_round_trips(self, tmp_path):
+        path = tmp_path / "prod.json"
+        assert main(["scenario", str(path), "--nodes", "30",
+                     "--workload", "production", "--rate", "0.5",
+                     "--duration", "600", "--seed", "9",
+                     "--hot-count", "4"]) == 0
+        scenario = Scenario.load(path)
+        assert scenario.metadata["workload"] == "production"
+        assert scenario.metadata["hot_count"] == 4
+        assert scenario.requests
+
+    def test_production_scenario_rejects_hot_count_overflow(self, capsys):
+        assert main(["scenario", "out.json", "--nodes", "5",
+                     "--workload", "production",
+                     "--hot-count", "10"]) == 2
+        assert "hot-count" in capsys.readouterr().err

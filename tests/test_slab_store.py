@@ -1,0 +1,120 @@
+"""Slab connection store: dict-compatible semantics, slot recycling,
+and the no-aliasing invariant under random churn (model-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlabConnectionStore
+
+
+class _Conn:
+    """Minimal stand-in carrying the one attribute the slab checks."""
+
+    __slots__ = ("connection_id", "tag")
+
+    def __init__(self, connection_id, tag=0):
+        self.connection_id = connection_id
+        self.tag = tag
+
+
+def test_basic_mapping_semantics():
+    store = SlabConnectionStore()
+    a, b = _Conn(1), _Conn(2)
+    store[1] = a
+    store[2] = b
+    assert len(store) == 2
+    assert store[1] is a
+    assert store.get(2) is b
+    assert store.get(9) is None
+    assert 1 in store and 9 not in store
+    assert list(store) == [1, 2]
+    assert list(store.keys()) == [1, 2]
+    assert [c.connection_id for c in store.values()] == [1, 2]
+    assert [(k, v.connection_id) for k, v in store.items()] == [(1, 1), (2, 2)]
+    del store[1]
+    assert 1 not in store
+    with pytest.raises(KeyError):
+        store[1]
+    with pytest.raises(KeyError):
+        del store[1]
+    assert store.pop(9, None) is None
+    assert store.pop(2) is b
+    with pytest.raises(KeyError):
+        store.pop(2)
+    assert len(store) == 0
+    store.check()
+
+
+def test_mismatched_id_rejected():
+    store = SlabConnectionStore()
+    with pytest.raises(ValueError):
+        store[5] = _Conn(6)
+
+
+def test_replacement_preserves_iteration_position():
+    store = SlabConnectionStore()
+    for cid in (10, 20, 30):
+        store[cid] = _Conn(cid)
+    replacement = _Conn(20, tag=1)
+    store[20] = replacement
+    assert list(store) == [10, 20, 30]
+    assert store[20] is replacement
+    # In-place replacement neither grows the slab nor burns a slot.
+    assert store.slot_count == 3
+    store.check()
+
+
+def test_slot_reuse_bounds_high_water():
+    store = SlabConnectionStore()
+    for cid in range(1000):
+        store[cid] = _Conn(cid)
+        if cid >= 10:
+            del store[cid - 10]
+    stats = store.stats()
+    assert stats["live"] == 10
+    # 1000 inserts through a 10-deep working set must recycle slots,
+    # not allocate per insert — the soak memory claim in miniature.
+    assert stats["high_water"] <= 11
+    assert stats["reused_slots"] >= 980
+    store.check()
+
+
+churn = st.lists(
+    st.tuples(st.sampled_from(["add", "remove", "replace"]),
+              st.integers(min_value=0, max_value=30)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(churn)
+@settings(max_examples=60, deadline=None)
+def test_reuse_never_aliases_live_connections(ops):
+    """Free-list recycling must never hand a live connection's slot to
+    another id: after every operation the store agrees exactly with a
+    plain dict model — same keys, same order, same object identity."""
+    store = SlabConnectionStore()
+    model = {}
+    next_id = 0
+    for kind, pick in ops:
+        if kind == "add":
+            conn = _Conn(next_id)
+            store[next_id] = conn
+            model[next_id] = conn
+            next_id += 1
+        elif kind == "remove" and model:
+            victim = list(model)[pick % len(model)]
+            del store[victim]
+            del model[victim]
+        elif kind == "replace" and model:
+            victim = list(model)[pick % len(model)]
+            conn = _Conn(victim, tag=1)
+            store[victim] = conn
+            model[victim] = conn
+        store.check()
+        assert list(store) == list(model)
+        for cid, conn in model.items():
+            assert store[cid] is conn  # identity, not equality: no alias
+    assert len(store) == len(model)
+    assert store.stats()["live"] == len(model)

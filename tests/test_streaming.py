@@ -1,0 +1,121 @@
+"""Streaming statistics: exact-mean equivalence with list-based
+aggregation, reservoir determinism, and windowed retention."""
+
+import random
+
+import pytest
+
+from repro.analysis import Reservoir, StreamingMoments, WindowedSeries
+from repro.analysis.overhead import SpareShareObserver
+
+
+def test_streaming_mean_bit_identical_to_sum_over_len():
+    # The whole point of the running total: replacing a record list
+    # with StreamingMoments must not move a single bit of any mean.
+    rng = random.Random(5)
+    values = [rng.uniform(-10, 10) for _ in range(5000)]
+    moments = StreamingMoments()
+    for value in values:
+        moments.push(value)
+    assert moments.mean == sum(values) / len(values)
+    assert moments.count == len(values)
+    assert moments.minimum == min(values)
+    assert moments.maximum == max(values)
+
+
+def test_streaming_moments_variance_and_empty():
+    empty = StreamingMoments()
+    assert empty.mean == 0.0
+    assert empty.variance == 0.0
+    assert empty.as_dict() == {
+        "count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0,
+    }
+    moments = StreamingMoments()
+    for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        moments.push(value)
+    assert moments.mean == pytest.approx(5.0)
+    assert moments.variance == pytest.approx(4.0)
+    assert moments.std == pytest.approx(2.0)
+
+
+def test_reservoir_deterministic_and_bounded():
+    a = Reservoir(32, random.Random(1))
+    b = Reservoir(32, random.Random(1))
+    for value in range(1000):
+        a.push(float(value))
+        b.push(float(value))
+    assert a.samples == b.samples
+    assert a.seen == 1000
+    assert len(a.samples) == 32
+    assert 0.0 <= a.quantile(0.5) <= 999.0
+    assert a.quantile(0.0) == min(a.samples)
+    assert a.quantile(1.0) == max(a.samples)
+    summary = a.as_dict()
+    assert summary["seen"] == 1000
+    assert summary["retained"] == 32
+    assert summary["p50"] <= summary["p90"] <= summary["p99"]
+    with pytest.raises(ValueError):
+        a.quantile(1.5)
+    with pytest.raises(ValueError):
+        Reservoir(0)
+    assert Reservoir(4).quantile(0.5) == 0.0  # empty reservoir
+
+
+def test_windowed_series_retention_vs_totals():
+    series = WindowedSeries(window=10)
+    for value in range(100):
+        series.append(value)
+    assert len(series) == 10
+    assert list(series) == list(range(90, 100))
+    assert series[0] == 90
+    assert series.total_count == 100
+    assert series.mean == sum(range(100)) / 100
+    assert series.moments.count == 100
+    unbounded = WindowedSeries()
+    for value in range(100):
+        unbounded.append(value)
+    assert len(unbounded) == 100
+    with pytest.raises(ValueError):
+        WindowedSeries(window=0)
+
+
+def test_spare_share_observer_windowed_means_cover_all(monkeypatch):
+    # Windowed retention must not change the streamed means: feed the
+    # observer fake snapshots and compare against full retention.
+    class _State:
+        def __init__(self, prime):
+            self._prime = prime
+
+        def total_prime_bw(self):
+            return self._prime
+
+        def total_spare_bw(self):
+            return self._prime / 2.0
+
+        def total_capacity(self):
+            return 100.0
+
+    class _Service:
+        def __init__(self, prime):
+            self.state = _State(prime)
+
+    windowed = SpareShareObserver(window=4)
+    full = SpareShareObserver()
+    for step in range(25):
+        service = _Service(float(step + 1))
+        windowed.on_snapshot(service, float(step))
+        full.on_snapshot(service, float(step))
+    assert len(windowed.samples) == 4
+    assert len(full.samples) == 25
+    assert windowed.sample_count == 25
+    assert windowed.mean_spare_fraction == full.mean_spare_fraction
+    assert windowed.mean_utilization == full.mean_utilization
+    with pytest.raises(ValueError):
+        SpareShareObserver(window=0)
+
+
+def test_empty_observer_means_are_zero():
+    observer = SpareShareObserver()
+    assert observer.mean_spare_fraction == 0.0
+    assert observer.mean_utilization == 0.0
+    assert observer.sample_count == 0
