@@ -18,9 +18,17 @@ Gates and targets, archived in
 ``benchmarks/results/kernel_speedup.json``:
 
 * **CI gate** — >= 3x admissions/s on the 16x16 mesh (hard assert);
-* **target** — >= 5x on the 20x20 mesh (recorded as ``target_met``,
-  not asserted: measured headroom today is ~3.5x, bounded by the
-  shared signaling path both arms execute).
+* **target** — >= 5x on the 20x20 mesh (recorded as ``target.met``,
+  not asserted: the batched signaling commit path lifted the measured
+  ratio to ~3.4x, and what remains is search-bound — see
+  ``docs/performance.md`` for the ledger and the profile that caps
+  this workload's ratio near 4x).
+
+A third row measures a 500-node Waxman graph (the paper-adjacent
+random topology) so the artifact also records admissions/s off the
+mesh family.  When a re-record supersedes an archive produced before
+the batched signaling path, the old gate/target/rows move under
+``previous`` so the before/after is visible in one artifact.
 
 Run with::
 
@@ -37,7 +45,7 @@ import pytest
 from repro.core import DRTPService
 from repro.experiments import make_scheme
 from repro.kernels import resolve_backend
-from repro.topology import mesh_network
+from repro.topology import mesh_network, waxman_network
 
 from _common import ArmTimer, check_paired_iterations
 
@@ -54,6 +62,28 @@ REPS = 3
 GATE_MESH, GATE_REQUESTS, GATE_RATIO = 16, 600, 3.0
 TARGET_MESH, TARGET_REQUESTS, TARGET_RATIO = 20, 800, 5.0
 
+#: The off-mesh admissions/s row: a 500-node Waxman graph (recorded,
+#: never gated — random topologies measure scale, not the ratio bar).
+WAXMAN_NODES, WAXMAN_REQUESTS = 500, 300
+
+
+def _mesh_builder(rows):
+    def build():
+        return mesh_network(rows, rows, capacity=CAPACITY)
+
+    return build
+
+
+def _waxman_builder(num_nodes):
+    # A fresh seeded rng per build: every arm and repetition replays
+    # the identical random topology.
+    def build():
+        return waxman_network(
+            num_nodes, capacity=CAPACITY, rng=random.Random(SEED)
+        )
+
+    return build
+
 
 def _workload(net, num_requests):
     rng = random.Random(SEED)
@@ -63,9 +93,9 @@ def _workload(net, num_requests):
     ]
 
 
-def _run_arm(kernel, rows, pairs, timer):
+def _run_arm(kernel, build, pairs, timer):
     """One measured pass of one arm; returns its accepted count."""
-    net = mesh_network(rows, rows, capacity=CAPACITY)
+    net = build()
     scheme = make_scheme(SCHEME)
     scheme.kernel = kernel
     service = DRTPService(net, scheme, live_database=True)
@@ -77,16 +107,16 @@ def _run_arm(kernel, rows, pairs, timer):
     return service.counters.accepted
 
 
-def measure_mesh(rows, num_requests):
-    """Interleaved best-of-``REPS`` for both arms on one mesh."""
-    net = mesh_network(rows, rows, capacity=CAPACITY)
+def measure_topology(label, build, num_requests):
+    """Interleaved best-of-``REPS`` for both arms on one topology."""
+    net = build()
     pairs = _workload(net, num_requests)
     best = {}
     accepted = {}
     for _ in range(REPS):
         for kernel in ("object", "compiled"):
             timer = ArmTimer(kernel)
-            arm_accepted = _run_arm(kernel, rows, pairs, timer)
+            arm_accepted = _run_arm(kernel, build, pairs, timer)
             previous = accepted.setdefault(kernel, arm_accepted)
             assert arm_accepted == previous  # deterministic replay
             incumbent = best.get(kernel)
@@ -97,7 +127,8 @@ def measure_mesh(rows, num_requests):
     check_paired_iterations(best["object"], best["compiled"])
     ratio = best["object"].elapsed_ns / best["compiled"].elapsed_ns
     return {
-        "mesh": "{0}x{0}".format(rows),
+        "mesh": label,
+        "num_nodes": net.num_nodes,
         "num_links": net.num_links,
         "requests": num_requests,
         "accepted": accepted["compiled"],
@@ -113,17 +144,30 @@ def measure_mesh(rows, num_requests):
     }
 
 
+def measure_mesh(rows, num_requests):
+    """Interleaved best-of-``REPS`` for both arms on one mesh."""
+    return measure_topology(
+        "{0}x{0}".format(rows), _mesh_builder(rows), num_requests
+    )
+
+
 @pytest.mark.slow
 def test_kernel_speedup():
     """Measure both meshes, record the artifact, and gate on the
     16x16 acceptance bar (>= 3x admissions/s over the object path)."""
     gate_entry = measure_mesh(GATE_MESH, GATE_REQUESTS)
     target_entry = measure_mesh(TARGET_MESH, TARGET_REQUESTS)
+    waxman_entry = measure_topology(
+        "waxman-{}".format(WAXMAN_NODES),
+        _waxman_builder(WAXMAN_NODES),
+        WAXMAN_REQUESTS,
+    )
     results = {
         "scheme": SCHEME,
         "capacity": CAPACITY,
         "seed": SEED,
         "backend": resolve_backend(),
+        "batched_signaling": True,
         "gate": {
             "mesh": gate_entry["mesh"],
             "required_speedup": GATE_RATIO,
@@ -136,10 +180,27 @@ def test_kernel_speedup():
             "measured_speedup": target_entry["speedup"],
             "met": target_entry["speedup"] >= TARGET_RATIO,
         },
-        "meshes": [gate_entry, target_entry],
+        "meshes": [gate_entry, target_entry, waxman_entry],
     }
 
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    # Before/after record across the batched-signaling change: an
+    # archive produced before it keeps its gate/target/rows under
+    # ``previous`` so the commit-path win is visible in one artifact.
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            existing = {}
+        if not existing.get("batched_signaling", False):
+            results["previous"] = {
+                "batched_signaling": False,
+                "gate": existing.get("gate"),
+                "target": existing.get("target"),
+                "meshes": existing.get("meshes", []),
+            }
+        elif "previous" in existing:
+            results["previous"] = existing["previous"]
     RESULTS_PATH.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n"
     )

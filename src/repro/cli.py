@@ -724,6 +724,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     span.tags.get("destination"), span.tags.get("bw"),
                     span.tags.get("reason"),
                 ))
+        # Cache effectiveness behind the rejections: warm hits served
+        # a stored candidate without searching; cold misses ran the
+        # full backup search (docs/performance.md reads this digest).
+        searches = collector.spans("route.backup_search")
+        warm_hits = sum(
+            1 for span in searches if span.tags.get("warm") is True
+        )
+        cold_misses = sum(
+            1 for span in searches if span.tags.get("warm") is False
+        )
+        if warm_hits or cold_misses:
+            print(
+                "backup searches: {} warm hit(s), {} cold miss(es) "
+                "({} total)".format(warm_hits, cold_misses, len(searches))
+            )
     print("open the trace in https://ui.perfetto.dev or chrome://tracing")
     return 0
 

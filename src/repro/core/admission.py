@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..kernels.apply import batch_release_primary, batch_reserve_primary
 from ..network.state import BW_EPSILON, NetworkState
 from ..routing.base import RoutePlan
 from ..topology.graph import Route
@@ -235,6 +236,12 @@ class AdmissionController:
     # Primary reservation plumbing
     # ------------------------------------------------------------------
     def _reserve_primary(self, route: Route, bw: float) -> bool:
+        # Batched validate-then-apply commit; the per-hop loop below
+        # stays as the fallback and lockstep reference (see
+        # repro.kernels.apply for the equivalence argument).
+        batched = batch_reserve_primary(self._state, route.link_ids, bw)
+        if batched is not None:
+            return batched
         reserved: List[int] = []
         for link_id in route.link_ids:
             ledger = self._state.ledger(link_id)
@@ -247,6 +254,8 @@ class AdmissionController:
         return True
 
     def _release_primary(self, route: Route, bw: float) -> None:
+        if batch_release_primary(self._state, self._policy, route.link_ids, bw):
+            return
         for link_id in route.link_ids:
             ledger = self._state.ledger(link_id)
             ledger.release_primary(bw)

@@ -816,6 +816,19 @@ class DRTPService:
         prove steady-state memory stays flat under churn)."""
         return self._connections.stats()
 
+    def warmstart_stats(self) -> Optional[Dict[str, int]]:
+        """Warm backup-candidate cache effectiveness counters
+        (probes/hits/misses/invalidations; see
+        :mod:`repro.routing.warmstart`), or ``None`` when the database
+        runs without the cache — object-path kernels, the rebuilt
+        reference database, or ``REPRO_WARMSTART=0``."""
+        cache = getattr(self.database, "_warmstart_cache", None)
+        if cache is None:
+            # Never consulted (object path, reference database, or
+            # gated off) — don't create one just to report zeros.
+            return None
+        return cache.stats()
+
     def links_carrying_primaries(self) -> List[int]:
         """Link ids crossed by at least one active primary — the
         failure sites that matter for the ``P_act-bk`` sweep."""

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
+from ..kernels.apply import batch_register_walk, batch_release_walk
 from ..network.state import BW_EPSILON, NetworkState
 from ..topology.graph import Route
 from .errors import SignalingError
@@ -211,7 +212,31 @@ def _register_walk(
     policy: SparePolicy,
     packet: BackupRegisterPacket,
 ) -> RegistrationResult:
-    """The fault-free atomic walk."""
+    """The fault-free atomic walk.
+
+    Dispatches to the batched validate-then-apply commit
+    (:func:`repro.kernels.apply.batch_register_walk`) — one fused
+    loop and one dirty-set transaction per admission, bit-identical
+    to the per-hop walk below, which remains both the fallback for
+    routes the batch cannot prove equivalent and the reference the
+    lockstep regression suite diffs against."""
+    batched = batch_register_walk(
+        state,
+        policy,
+        packet.registration_key,
+        packet.backup_route.link_ids,
+        packet.primary_lset,
+        packet.bw_req,
+    )
+    if batched is not None:
+        rejected_link, hops, resizes = batched
+        if rejected_link is None:
+            return RegistrationResult(
+                success=True, resizes=resizes, hops_signaled=hops
+            )
+        return RegistrationResult(
+            success=False, rejected_link=rejected_link, hops_signaled=hops
+        )
     result = RegistrationResult(success=True)
     registered: List[int] = []
     for link_id in packet.backup_route.link_ids:
@@ -339,6 +364,11 @@ def release_backup_path(
             hops=len(packet.backup_route.link_ids),
         ):
             return release_backup_path(state, policy, packet)
+    batched = batch_release_walk(
+        state, policy, packet.registration_key, packet.backup_route.link_ids
+    )
+    if batched is not None:
+        return batched
     outcomes = []
     for link_id in packet.backup_route.link_ids:
         ledger = state.ledger(link_id)

@@ -21,6 +21,11 @@ Safety property (hypothesis-tested in ``tests/test_slab_store.py``):
 slot reuse never aliases a live connection — a slot is only handed out
 after its previous occupant was removed from the index, and every live
 id maps to exactly one slot holding exactly that connection.
+
+The store is one of the engine's batch-oriented layers alongside the
+compiled cost arrays (:mod:`repro.kernels.arrays`) and the batched
+signaling apply (:mod:`repro.kernels.apply`); ``docs/performance.md``
+places each in the speedup ledger.
 """
 
 from __future__ import annotations

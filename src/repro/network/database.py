@@ -71,6 +71,11 @@ class LinkStateDatabase:
         #: Lazily-created compiled mirror of this database's records
         #: (see :meth:`kernel_arrays`).
         self._kernel_arrays = None
+        #: Lazily-created warm backup-candidate cache (see
+        #: :meth:`warmstart_cache`); ``warmstart = False`` disables it
+        #: for this database instance.
+        self._warmstart_cache = None
+        self.warmstart = True
         state.subscribe(self._mark_dirty)
         if not live:
             self.refresh()
@@ -195,6 +200,27 @@ class LinkStateDatabase:
 
             self._kernel_arrays = CompiledLinkArrays(self)
         return self._kernel_arrays
+
+    def warmstart_cache(self):
+        """The warm backup-candidate cache for schemes routing against
+        this database (:class:`~repro.routing.warmstart.WarmstartCache`),
+        created on first use.  Returns ``None`` — and the schemes run
+        every search cold — when the instance's ``warmstart`` flag or
+        the ``REPRO_WARMSTART`` environment gate is off, or when the
+        database cannot serve the compiled kernel (candidate validity
+        is argued against the deterministic flat searches)."""
+        if not self.warmstart or not self.supports_compiled_kernel:
+            return None
+        if self._warmstart_cache is None:
+            # Imported here for the same layering reason as the
+            # compiled arrays above.
+            from ..routing.warmstart import WarmstartCache, warmstart_enabled
+
+            if not warmstart_enabled():
+                self.warmstart = False
+                return None
+            self._warmstart_cache = WarmstartCache(self._state)
+        return self._warmstart_cache
 
     # ------------------------------------------------------------------
     # Per-link records

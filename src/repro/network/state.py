@@ -531,6 +531,24 @@ class NetworkState:
         for callback in self._subscribers:
             callback(link_id)
 
+    def publish_changes(self, link_ids: Iterable[int]) -> None:
+        """Notify subscribers of a *batch* of ledger mutations at once.
+
+        The batched apply path (:mod:`repro.kernels.apply`) mutates
+        ledger fields directly and defers change notification to one
+        call per admission — a single dirty-set transaction.  Every
+        subscriber is an idempotent dirty-set add, so collapsing the
+        per-mutation ``_touch`` notifications into one notification
+        per touched link leaves all downstream dirty sets (incremental
+        databases, compiled kernel arrays, cluster delta streams)
+        exactly as the per-hop walk would."""
+        subscribers = self._subscribers
+        if not subscribers:
+            return
+        for link_id in link_ids:
+            for callback in subscribers:
+                callback(link_id)
+
     # ------------------------------------------------------------------
     # Link health (persistent failures, Section 1's fault model)
     # ------------------------------------------------------------------

@@ -178,6 +178,71 @@ def _traced_flat_search(
     return route
 
 
+def _warm_flat_search(
+    scheme: RoutingScheme,
+    query: RouteQuery,
+    costs: Sequence[float],
+    scale: Optional[float],
+    avoid_lset: FrozenSet[int],
+    primary_lset: FrozenSet[int],
+    name: str,
+    detail: bool = False,
+    **tags,
+):
+    """:func:`_traced_flat_search` behind the warm-candidate cache
+    (:mod:`repro.routing.warmstart`).
+
+    The probe key carries every input of the cost build and of the
+    search besides the cost array itself — endpoints, hop bound,
+    bandwidth, conflict kind, LSET and avoid set — so cache validity
+    reduces to "is the cost array unchanged", which the cache proves
+    by epoch or digest equality before serving.  A hit returns the
+    stored route without searching, under the same span name with
+    ``warm=True``; a miss runs the cold search (``warm=False``) and
+    stores its result.  Decisions are bit-identical either way."""
+    cache = scheme.context.database.warmstart_cache()
+    if cache is None:
+        return _traced_flat_search(
+            scheme, query, costs, scale, name, detail=detail, **tags
+        )
+    key = (
+        scheme.compiled_conflict,
+        query.source,
+        query.destination,
+        query.max_hops,
+        query.bw_req,
+        primary_lset,
+        avoid_lset,
+    )
+    probe = cache.probe(key, costs)
+    if probe.hit:
+        route = probe.route
+        trace = scheme.trace
+        if trace is not None:
+            with trace.span(
+                name, category="routing", warm=True, **tags
+            ) as span:
+                if route is None:
+                    span.tag(found=False)
+                else:
+                    span.tag(found=True, hops=len(route.link_ids))
+                    if detail and trace.detail and scale is not None:
+                        total, conflict, q_links = _cost_breakdown_flat(
+                            costs, route, scale
+                        )
+                        span.tag(
+                            cost=round(total, 6),
+                            conflict=round(conflict, 6),
+                            q_links=q_links,
+                        )
+        return route
+    route = _traced_flat_search(
+        scheme, query, costs, scale, name, detail=detail, warm=False, **tags
+    )
+    cache.store(probe, route)
+    return route
+
+
 class LinkStateScheme(RoutingScheme):
     """Base for schemes that route from the link-state database."""
 
@@ -241,11 +306,13 @@ class LinkStateScheme(RoutingScheme):
             costs, scale = self._compiled_backup_costs(
                 query, primary.lset, primary.lset
             )
-            return _traced_flat_search(
+            return _warm_flat_search(
                 self,
                 query,
                 costs,
                 scale,
+                primary.lset,
+                primary.lset,
                 "route.backup_search",
                 detail=True,
                 reconfigure=True,
@@ -282,14 +349,17 @@ class LinkStateScheme(RoutingScheme):
         seen = {primary.lset}
         for index in range(self.num_backups):
             if compiled:
+                avoid_f = frozenset(avoid)
                 costs, scale = self._compiled_backup_costs(
-                    query, primary.lset, frozenset(avoid)
+                    query, primary.lset, avoid_f
                 )
-                route = _traced_flat_search(
+                route = _warm_flat_search(
                     self,
                     query,
                     costs,
                     scale,
+                    avoid_f,
+                    primary.lset,
                     "route.backup_search",
                     detail=True,
                     backup_index=index,
